@@ -1,0 +1,32 @@
+# Convenience targets for the FUDJ reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-check examples slow-examples shell clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## full run: timings + shape assertions + results/*.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-check:      ## fast run: shape assertions only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+examples:
+	for f in examples/quickstart.py examples/custom_join.py \
+	         examples/weather_analysis.py examples/fleet_proximity.py; do \
+	    $(PYTHON) $$f || exit 1; done
+
+slow-examples:
+	for f in examples/*.py; do $(PYTHON) $$f || exit 1; done
+
+shell:
+	$(PYTHON) -m repro
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

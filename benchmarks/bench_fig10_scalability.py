@@ -1,0 +1,128 @@
+"""Figure 10 reproduction: query execution time vs number of cores.
+
+The paper runs each join on 48/96/144 cores (plus the 12-core baseline of
+Fig 9) and shows that spatial and text FUDJ scale well and stay close to
+built-in, while the interval FUDJ scales poorly because its multi-join
+forces a broadcast theta plan (§VII-C).  Here the cluster is rebuilt with
+``partitions == cores`` for each point — exactly what adding worker nodes
+does — and the cost model replays the schedule.
+
+Shape targets:
+- spatial/text: time drops substantially from 12 to 144 cores;
+- interval: little or no improvement (broadcast + theta matching);
+- FUDJ-vs-built-in gap stays bounded as cores grow.
+"""
+
+import pytest
+
+from repro.bench import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    format_table,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+from repro.bench.harness import run_query
+
+CORE_COUNTS = (12, 48, 96, 144)
+
+
+def scale_sweep(name, make_db, sql, report):
+    rows = []
+    curves = {"fudj": {}, "builtin": {}}
+    for cores in CORE_COUNTS:
+        db = make_db(cores)
+        for mode in ("fudj", "builtin"):
+            row = run_query(db, sql, mode, cores=(cores,))
+            curves[mode][cores] = row[f"sim_{cores}c"]
+            rows.append([cores, mode, row[f"sim_{cores}c"]])
+    from repro.bench.ascii_chart import series_chart
+
+    table = format_table(
+        ["cores", "mode", "simulated seconds"],
+        rows,
+        title=f"Figure 10{dict(spatial='a', interval='b', text='c')[name]} "
+              f"(reproduced): {name} join execution time vs cores",
+    )
+    chart = series_chart(
+        list(CORE_COUNTS),
+        {mode: [curves[mode][c] for c in CORE_COUNTS]
+         for mode in ("fudj", "builtin")},
+        x_label="cores", y_label="sim s",
+        title="shape: falling = scales, flat = does not",
+    )
+    report(f"fig10_{name}", table + "\n\n" + chart)
+    return curves
+
+
+class TestFig10Spatial:
+    def test_scaling(self, report, benchmark):
+        def make_db(cores):
+            return spatial_database(600, 8000, partitions=cores, grid_n=40,
+                                    seed=1)
+
+        curves = scale_sweep("spatial", make_db, SPATIAL_SQL, report)
+        fudj = curves["fudj"]
+        # Spatial FUDJ scales: 144 cores clearly faster than 12.
+        assert fudj[144] < fudj[12] / 2.5
+        # FUDJ stays within a constant factor of built-in at every scale.
+        for cores in CORE_COUNTS:
+            assert curves["fudj"][cores] < 3 * curves["builtin"][cores]
+        benchmark(lambda: None)
+
+
+class TestFig10Text:
+    def test_scaling(self, report, benchmark):
+        sql = TEXT_SQL.format(threshold=0.9)
+
+        def make_db(cores):
+            return text_database(3000, partitions=cores, seed=1)
+
+        curves = scale_sweep("text", make_db, sql, report)
+        fudj = curves["fudj"]
+        assert fudj[144] < fudj[12] / 2.0
+        for cores in CORE_COUNTS:
+            assert curves["fudj"][cores] < 3 * curves["builtin"][cores]
+        benchmark(lambda: None)
+
+
+class TestFig10Interval:
+    def test_poor_scaling(self, report, benchmark):
+        def make_db(cores):
+            return interval_database(3000, partitions=cores, num_buckets=200,
+                                     seed=1)
+
+        curves = scale_sweep("interval", make_db, INTERVAL_SQL, report)
+        fudj = curves["fudj"]
+        spatial_like_speedup = fudj[12] / fudj[144]
+        # The broadcast theta plan must NOT scale the way spatial does
+        # (paper: "we cannot say the scaling is promising").
+        assert spatial_like_speedup < 2.5
+        benchmark(lambda: None)
+
+
+class TestFig10CrossJoin:
+    def test_interval_scales_worse_than_spatial(self, report, benchmark):
+        spatial = spatial_database(600, 8000, partitions=144, grid_n=40, seed=1)
+        interval = interval_database(3000, partitions=144, num_buckets=200,
+                                     seed=1)
+        s12 = run_query(
+            spatial_database(600, 8000, partitions=12, grid_n=40, seed=1),
+            SPATIAL_SQL, "fudj", cores=(12,))["sim_12c"]
+        s144 = run_query(spatial, SPATIAL_SQL, "fudj", cores=(144,))["sim_144c"]
+        i12 = run_query(
+            interval_database(3000, partitions=12, num_buckets=200, seed=1),
+            INTERVAL_SQL, "fudj", cores=(12,))["sim_12c"]
+        i144 = run_query(interval, INTERVAL_SQL, "fudj", cores=(144,))["sim_144c"]
+        spatial_speedup = s12 / s144
+        interval_speedup = i12 / i144
+        report("fig10_summary", format_table(
+            ["join", "12-core s", "144-core s", "speed-up"],
+            [["spatial", s12, s144, spatial_speedup],
+             ["interval", i12, i144, interval_speedup]],
+            title="Figure 10 summary: single-join scales, multi-join does not",
+        ))
+        assert spatial_speedup > 1.5 * interval_speedup
+        benchmark(lambda: None)

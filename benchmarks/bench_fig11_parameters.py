@@ -1,0 +1,130 @@
+"""Figure 11 reproduction: bucket-count and similarity-threshold effects.
+
+- Fig 11a: spatial join time vs grid size — too few tiles means huge
+  buckets (quadratic in-tile work), too many means replication overhead;
+  the best setting sits in between (a U-ish curve).
+- Fig 11b: interval join time vs timeline granule count — same trade-off.
+- Fig 11c: text-similarity join time vs threshold — the prefix filter
+  loses its bite as the threshold drops, so runtime explodes toward low
+  thresholds.
+"""
+
+import pytest
+
+from repro.bench import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    format_table,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+from repro.bench.harness import run_query
+
+CORES = 12
+
+
+class TestFig11aSpatialBuckets:
+    GRID_SIZES = (1, 4, 12, 32, 64, 128, 256)
+
+    def test_bucket_sweep(self, report, benchmark):
+        rows = []
+        times = {}
+        for n in self.GRID_SIZES:
+            db = spatial_database(400, 5000, partitions=8, grid_n=n, seed=11)
+            row = run_query(db, SPATIAL_SQL, "fudj", cores=(CORES,))
+            times[n] = row[f"sim_{CORES}c"]
+            rows.append([n * n, n, row[f"sim_{CORES}c"], row["comparisons"]])
+        from repro.bench.ascii_chart import bar_chart
+
+        report("fig11a_spatial_buckets", format_table(
+            ["buckets", "grid n", f"sim s ({CORES} cores)", "verifications"],
+            rows,
+            title="Figure 11a (reproduced): spatial join vs number of buckets",
+        ) + "\n\n" + bar_chart(
+            [(f"{n * n} buckets", times[n]) for n in self.GRID_SIZES],
+            log=True, title="shape: U-curve (log scale)",
+        ))
+        # U-shape: both extremes are worse than the best interior point.
+        best = min(times.values())
+        assert times[self.GRID_SIZES[0]] > 2 * best
+        assert times[self.GRID_SIZES[-1]] > best
+        best_n = min(times, key=times.get)
+        assert best_n not in (self.GRID_SIZES[0], self.GRID_SIZES[-1])
+        benchmark(lambda: None)
+
+    def test_result_invariant_to_buckets(self, benchmark):
+        # Tuning must never change answers.
+        counts = []
+        for n in (2, 16, 64):
+            db = spatial_database(150, 1200, partitions=4, grid_n=n, seed=5)
+            result = db.execute(SPATIAL_SQL, mode="fudj")
+            counts.append(sorted(map(repr, result.rows)))
+        assert counts[0] == counts[1] == counts[2]
+        benchmark(lambda: None)
+
+
+class TestFig11bIntervalBuckets:
+    BUCKET_COUNTS = (1, 5, 25, 100, 400, 1600, 6400)
+
+    def test_bucket_sweep(self, report, benchmark):
+        rows = []
+        times = {}
+        for buckets in self.BUCKET_COUNTS:
+            db = interval_database(1500, partitions=8, num_buckets=buckets,
+                                   seed=12)
+            row = run_query(db, INTERVAL_SQL, "fudj", cores=(CORES,))
+            times[buckets] = row[f"sim_{CORES}c"]
+            rows.append([buckets, row[f"sim_{CORES}c"], row["comparisons"]])
+        report("fig11b_interval_buckets", format_table(
+            ["buckets", f"sim s ({CORES} cores)", "verifications"],
+            rows,
+            title="Figure 11b (reproduced): interval join vs number of buckets",
+        ))
+        # One giant bucket degenerates to all-pairs verification.
+        best = min(times.values())
+        assert times[1] > 1.5 * best
+        benchmark(lambda: None)
+
+    def test_result_invariant_to_buckets(self, benchmark):
+        counts = []
+        for buckets in (1, 50, 2000):
+            db = interval_database(600, partitions=4, num_buckets=buckets,
+                                   seed=6)
+            counts.append(db.execute(INTERVAL_SQL, mode="fudj").rows)
+        assert counts[0] == counts[1] == counts[2]
+        benchmark(lambda: None)
+
+
+class TestFig11cSimilarityThreshold:
+    THRESHOLDS = (0.99, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+    def test_threshold_sweep(self, report, benchmark):
+        db = text_database(2000, partitions=8, seed=13)
+        rows = []
+        times = {}
+        for threshold in self.THRESHOLDS:
+            sql = TEXT_SQL.format(threshold=threshold)
+            row = run_query(db, sql, "fudj", cores=(CORES,))
+            times[threshold] = row[f"sim_{CORES}c"]
+            rows.append([
+                threshold, row[f"sim_{CORES}c"], row["comparisons"],
+                row["result"].rows[0]["c"],
+            ])
+        from repro.bench.ascii_chart import bar_chart
+
+        report("fig11c_similarity_threshold", format_table(
+            ["threshold", f"sim s ({CORES} cores)", "verifications", "pairs"],
+            rows,
+            title="Figure 11c (reproduced): text join vs similarity threshold",
+        ) + "\n\n" + bar_chart(
+            [(f"t={t}", times[t]) for t in self.THRESHOLDS],
+            title="shape: runtime grows as the threshold drops",
+        ))
+        # Runtime grows substantially as the threshold drops (prefix
+        # filtering degrades) — the paper's Fig 11c shape.
+        assert times[0.5] > 3 * times[0.99]
+        ordered = [times[t] for t in self.THRESHOLDS]
+        assert ordered[-1] == max(ordered)
+        benchmark(lambda: None)

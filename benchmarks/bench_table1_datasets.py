@@ -1,0 +1,57 @@
+"""Table I reproduction: the four experiment datasets.
+
+The paper's real datasets are replaced by seeded synthetic generators
+(see DESIGN.md §2); this bench reports name / wire size / record count /
+key type for the sizes used throughout the benchmark suite, mirroring
+Table I's columns.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.datagen import (
+    dataset_summary,
+    generate_parks,
+    generate_reviews,
+    generate_taxi_rides,
+    generate_wildfires,
+)
+
+#: Laptop-scale stand-ins for the paper's 7-58 GB datasets.
+SIZES = {
+    "Wildfires": 20000,
+    "Parks": 4000,
+    "NYCTaxi": 20000,
+    "AmazonReview": 10000,
+}
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return [
+        dataset_summary("Wildfires", generate_wildfires(SIZES["Wildfires"]),
+                        "location", "Point"),
+        dataset_summary("Parks", generate_parks(SIZES["Parks"]),
+                        "boundary", "Polygon"),
+        dataset_summary("NYCTaxi", generate_taxi_rides(SIZES["NYCTaxi"]),
+                        "ride_interval", "Interval"),
+        dataset_summary("AmazonReview", generate_reviews(SIZES["AmazonReview"]),
+                        "review", "Text"),
+    ]
+
+
+def test_table1_report(summaries, report, benchmark):
+    benchmark(generate_wildfires, 2000)
+    rows = [
+        [s["name"], f"{s['size_bytes'] / 1e6:.1f} MB", s["records"],
+         s["key_type"]]
+        for s in summaries
+    ]
+    report("table1_datasets", format_table(
+        ["Name", "Size", "#Records", "Key Type"],
+        rows,
+        title="Table I (reproduced): synthetic datasets for FUDJ experiments",
+    ))
+    # Key types must match the paper's Table I.
+    assert [r[3] for r in rows] == ["Point", "Polygon", "Interval", "Text"]
+    assert all(s["records"] > 0 and s["size_bytes"] > 0 for s in summaries)

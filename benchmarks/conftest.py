@@ -1,0 +1,29 @@
+"""Shared plumbing for the figure/table benchmarks.
+
+Each benchmark regenerates one artefact of the paper's evaluation section
+(Tables I-II, Figures 1, 9-12).  The rendered tables are printed to the
+terminal (visible with ``pytest -s``) and always written to
+``benchmarks/results/<name>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` run leaves the full report on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """A callable that prints a report block and persists it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return emit

@@ -1,0 +1,76 @@
+"""Tour of the §VIII future-work extensions, all implemented here.
+
+The paper closes with four planned directions; this example runs each of
+them against the stock implementation it improves:
+
+1. partitioned theta join  — kills the interval join's broadcast,
+2. sort-merge local join   — the FS forward scan inside each partition,
+3. plane-sweep local join  — §VII-F's optimization via the FUDJ hook,
+4. automatic bucket tuning — SUMMARIZE statistics pick the grid.
+
+Run:  python examples/extension_tour.py
+"""
+
+from repro.bench import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    format_table,
+    interval_database,
+    spatial_database,
+)
+from repro.bench.harness import run_query
+from repro.joins import (
+    AutoTuneSpatialJoin,
+    PartitionedIntervalJoin,
+    PlaneSweepSpatialJoin,
+    SortMergeIntervalJoin,
+)
+
+CORES = 48
+
+
+def swap_join(db, name, join_class, defaults):
+    db.drop_join(name)
+    db.create_join(name, join_class, defaults=defaults)
+
+
+# -- 1 + 2: the interval join's broadcast wall -----------------------------------------
+
+print("Interval join (2 000 rides, 48-core cluster)\n")
+rows = []
+for label, join_class in (
+    ("stock (broadcast theta, SVII-C)", None),
+    ("partitioned theta", PartitionedIntervalJoin),
+    ("partitioned + sort-merge local join", SortMergeIntervalJoin),
+):
+    db = interval_database(2000, partitions=CORES, num_buckets=128)
+    if join_class is not None:
+        swap_join(db, "overlapping_interval", join_class, (128,))
+    row = run_query(db, INTERVAL_SQL, "fudj", cores=(CORES,))
+    rows.append([label, row[f"sim_{CORES}c"], int(row["network_bytes"]),
+                 row["result"].rows[0]["c"]])
+print(format_table(["implementation", "sim s", "network bytes", "pairs"],
+                   rows))
+assert len({r[3] for r in rows}) == 1, "all variants must agree"
+print("\nThe broadcast traffic disappears with partitioned matching, and\n"
+      "the sort-merge local join cuts the candidate scan on top of it.\n")
+
+# -- 3 + 4: spatial local join and auto-tuning ------------------------------------------
+
+print("Spatial join (500 parks x 5 000 fires, 48-core cluster)\n")
+rows = []
+for label, join_class, defaults in (
+    ("stock PBSM, hand-tuned n=40", None, None),
+    ("plane-sweep local_join hook", PlaneSweepSpatialJoin, (40,)),
+    ("auto-tuned grid (no n given)", AutoTuneSpatialJoin, ()),
+):
+    db = spatial_database(500, 5000, partitions=CORES, grid_n=40)
+    if join_class is not None:
+        swap_join(db, "st_contains", join_class, defaults)
+    row = run_query(db, SPATIAL_SQL, "fudj", cores=(CORES,))
+    rows.append([label, row[f"sim_{CORES}c"], row["comparisons"],
+                 row["result_rows"]])
+print(format_table(["implementation", "sim s", "pair tests", "rows"], rows))
+assert len({r[3] for r in rows}) == 1, "all variants must agree"
+print("\nEach extension is an ordinary FlexibleJoin subclass — no engine\n"
+      "changes were needed, which is the point of the FUDJ hooks.")

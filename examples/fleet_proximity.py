@@ -1,0 +1,52 @@
+"""Fleet proximity analysis with a trajectory join.
+
+Trajectory joins dominate the paper's related-work section, yet no
+mainstream DBMS optimizes them — exactly the gap FUDJ targets.  This
+example joins two vehicle fleets on "routes that passed within eps of
+each other", using :class:`TrajectoryProximityJoin` (~40 lines of user
+code in ``repro/joins/trajectory.py``), and compares against the on-top
+NLJ with the ``trajectory_min_distance`` scalar.
+
+Run:  python examples/fleet_proximity.py
+"""
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.datagen import generate_trajectories
+from repro.joins import TrajectoryProximityJoin
+
+db = Database(num_partitions=8)
+db.execute("CREATE TYPE TripType { id: int, vehicle: int, route: trajectory }")
+db.execute("CREATE DATASET Trips(TripType) PRIMARY KEY id")
+db.load("Trips", generate_trajectories(800, seed=11))
+db.create_join("routes_near", TrajectoryProximityJoin, defaults=(2.0, 32))
+
+FUDJ_SQL = (
+    "SELECT COUNT(1) AS encounters FROM Trips a, Trips b "
+    "WHERE a.vehicle = 1 AND b.vehicle = 2 "
+    "AND routes_near(a.route, b.route, 2.0)"
+)
+ONTOP_SQL = (
+    "SELECT COUNT(1) AS encounters FROM Trips a, Trips b "
+    "WHERE a.vehicle = 1 AND b.vehicle = 2 "
+    "AND trajectory_min_distance(a.route, b.route) <= 2.0"
+)
+
+print("Close encounters between fleet 1 and fleet 2 routes\n")
+print(db.explain(FUDJ_SQL))
+print()
+
+fudj = db.execute(FUDJ_SQL, mode="fudj")
+ontop = db.execute(ONTOP_SQL, mode="ontop")
+assert fudj.rows == ontop.rows, "FUDJ and on-top must agree"
+
+rows = [
+    ["FUDJ (grid + eps expansion)", fudj.metrics.comparisons,
+     fudj.metrics.simulated_seconds(12)],
+    ["on-top (NLJ + scalar distance)", ontop.metrics.comparisons,
+     ontop.metrics.simulated_seconds(12)],
+]
+print(format_table(["plan", "pair tests", "sim s (12 cores)"], rows))
+print(f"\n{fudj.rows[0]['encounters']} encounter pairs; the FUDJ plan "
+      f"tested {ontop.metrics.comparisons // max(1, fudj.metrics.comparisons)}x "
+      "fewer pairs — a fourth join domain, zero engine changes.")

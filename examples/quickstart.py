@@ -1,0 +1,84 @@
+"""Quickstart: install a FUDJ join library and run a spatial join.
+
+This walks the paper's core workflow end to end:
+
+1. create types and datasets (SQL DDL),
+2. install a join library with ``CREATE JOIN`` (paper Query 4),
+3. run a join query — the optimizer detects the FUDJ predicate and builds
+   the partition-based plan of Figure 8,
+4. compare against the on-top baseline (the same query with the rewrite
+   disabled, which degenerates to a nested-loop join).
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import Database
+from repro.geometry import Point, Polygon
+
+rng = random.Random(7)
+db = Database(num_partitions=8)
+
+# -- 1. schema ------------------------------------------------------------------
+db.execute("CREATE TYPE Parks_Type { id: int, boundary: geometry, tags: string }")
+db.execute("CREATE DATASET Parks(Parks_Type) PRIMARY KEY id")
+db.execute("CREATE TYPE Wildfire_Type { id: int, location: point, "
+           "fire_start: double }")
+db.execute("CREATE DATASET Wildfires(Wildfire_Type) PRIMARY KEY id")
+
+# -- 2. data ---------------------------------------------------------------------
+db.load("Parks", (
+    {
+        "id": i,
+        "boundary": Polygon.regular(
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+            radius=rng.uniform(2, 6), sides=rng.randint(4, 8),
+        ),
+        "tags": "scenic hiking",
+    }
+    for i in range(100)
+))
+db.load("Wildfires", (
+    {
+        "id": i,
+        "location": Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+        "fire_start": rng.uniform(0, 365),
+    }
+    for i in range(2000)
+))
+
+# -- 3. install the Spatial FUDJ (paper Query 4 syntax) ------------------------------
+db.execute(
+    'CREATE JOIN st_contains(a: geometry, b: geometry) RETURNS boolean '
+    'AS "repro.joins.spatial.SpatialContainsJoin" AT repro'
+)
+
+QUERY = (
+    "SELECT p.id, COUNT(w.id) AS num_fires "
+    "FROM Parks p, Wildfires w "
+    "WHERE ST_Contains(p.boundary, w.location) "
+    "GROUP BY p.id ORDER BY num_fires DESC LIMIT 5"
+)
+
+print("=== Optimized FUDJ plan ===")
+print(db.explain(QUERY, mode="fudj"))
+print()
+
+fudj = db.execute(QUERY, mode="fudj")
+print("Top parks by wildfire count (FUDJ plan):")
+for row in fudj:
+    print(f"  park {row['p.id']:>3}: {row['num_fires']} fires")
+print()
+
+ontop = db.execute(QUERY, mode="ontop")
+assert fudj.rows == ontop.rows, "FUDJ and on-top must agree"
+
+print("FUDJ  : "
+      f"{fudj.metrics.comparisons:>8} predicate evaluations, "
+      f"simulated {fudj.metrics.simulated_seconds(12):.4f}s on 12 cores")
+print("On-top: "
+      f"{ontop.metrics.comparisons:>8} predicate evaluations, "
+      f"simulated {ontop.metrics.simulated_seconds(12):.4f}s on 12 cores")
+print(f"\nSpeed-up from the FUDJ rewrite: "
+      f"{ontop.metrics.simulated_seconds(12) / fudj.metrics.simulated_seconds(12):.1f}x")

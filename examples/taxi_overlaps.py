@@ -1,0 +1,43 @@
+"""Overlapping taxi rides: the interval join and its theta-join ceiling.
+
+Runs the paper's interval experiment query over synthetic NYC-taxi-like
+rides and demonstrates the §VII-C observation: because the interval FUDJ
+overrides ``match`` (multi-join), bucket matching runs as a broadcast
+theta join, and scaling the core count helps far less than it does for
+the single-join spatial/text plans.
+
+Run:  python examples/taxi_overlaps.py
+"""
+
+from repro.bench import INTERVAL_SQL, format_table, interval_database
+from repro.bench.harness import run_query
+
+db = interval_database(num_rides=2000, partitions=12, num_buckets=200)
+
+print("Overlapping rides between vendor 1 and vendor 2\n")
+
+result = db.execute(INTERVAL_SQL, mode="fudj")
+print(f"Overlapping ride pairs: {result.rows[0]['c']}")
+print(f"Plan:\n{db.explain(INTERVAL_SQL, mode='fudj')}\n")
+
+# Scale the cluster with the core count, as the paper's testbed does:
+# more cores means more partitions AND more broadcast replicas.
+scaling = []
+for cores in (12, 48, 96, 144):
+    scaled = interval_database(num_rides=2000, partitions=cores,
+                               num_buckets=200)
+    row = run_query(scaled, INTERVAL_SQL, "fudj", cores=(cores,))
+    scaling.append([cores, row[f"sim_{cores}c"]])
+print(format_table(
+    ["cores", "simulated seconds"],
+    scaling,
+    title="Core scaling of the interval FUDJ (multi-join => broadcast)",
+))
+
+base = scaling[0][1]
+final = scaling[-1][1]
+print(f"\n12 -> 144 cores changes the interval join time only {base / final:.1f}x "
+      "(it can even get slower: every added worker receives the whole "
+      "broadcast side).  The theta bucket matching does not parallelize, "
+      "which is exactly the limitation the paper reports in SVII-C and "
+      "plans to fix with a partitioned theta-join operator.")

@@ -1,0 +1,91 @@
+"""Combined spatial + interval analysis (the paper's Query 3).
+
+The hardest query in the paper's introduction joins THREE datasets with
+two different optimized join types — spatial containment between parks
+and weather stations, interval overlap between wildfires and sensor
+readings — plus a distance residual.  No mainstream system optimizes
+this; with two FUDJ libraries installed, the optimizer builds a plan with
+two stacked partition-based joins.
+
+Run:  python examples/weather_analysis.py
+"""
+
+import random
+
+from repro import Database
+from repro.geometry import Point, Polygon
+from repro.interval import Interval
+from repro.joins import IntervalJoin, SpatialContainsJoin
+
+rng = random.Random(2024)
+db = Database(num_partitions=8)
+
+db.execute("CREATE TYPE Parks_Type { id: int, boundary: geometry }")
+db.execute("CREATE DATASET Parks(Parks_Type) PRIMARY KEY id")
+db.execute("CREATE TYPE Wildfire_Type { id: int, lat: double, lon: double, "
+           "fire_start: double, fire_end: double }")
+db.execute("CREATE DATASET Wildfires(Wildfire_Type) PRIMARY KEY id")
+db.execute("CREATE TYPE Weather_Type { id: int, location: point, "
+           "reading_interval: interval, temp: int }")
+db.execute("CREATE DATASET Weather(Weather_Type) PRIMARY KEY id")
+
+db.load("Parks", (
+    {
+        "id": i,
+        "boundary": Polygon.regular(
+            Point(rng.uniform(0, 80), rng.uniform(0, 80)),
+            radius=rng.uniform(3, 9), sides=rng.randint(4, 8),
+        ),
+    }
+    for i in range(60)
+))
+db.load("Wildfires", (
+    {
+        "id": i,
+        "lat": rng.uniform(0, 80),
+        "lon": rng.uniform(0, 80),
+        "fire_start": (s := rng.uniform(0, 300)),
+        "fire_end": s + rng.uniform(2, 25),
+    }
+    for i in range(400)
+))
+db.load("Weather", (
+    {
+        "id": i,
+        "location": Point(rng.uniform(0, 80), rng.uniform(0, 80)),
+        "reading_interval": Interval(t := rng.uniform(0, 320), t + 24.0),
+        "temp": rng.randint(-5, 45),
+    }
+    for i in range(400)
+))
+
+db.create_join("st_contains", SpatialContainsJoin, defaults=(24,))
+db.create_join("interval_overlapping", IntervalJoin, defaults=(64,))
+
+QUERY3 = (
+    "SELECT w.id AS fire_id, AVG(s.temp) AS avg_temp, COUNT(1) AS readings "
+    "FROM Parks p, Weather s, Wildfires w "
+    "WHERE ST_Contains(p.boundary, s.location) "
+    "AND interval_overlapping(interval(w.fire_start, w.fire_end), "
+    "s.reading_interval) "
+    "AND st_distance(ST_MakePoint(w.lat, w.lon), s.location) < 15 "
+    "GROUP BY w.id ORDER BY avg_temp DESC LIMIT 8"
+)
+
+print("Query 3 plan — two FUDJ joins stacked in one optimized plan:\n")
+print(db.explain(QUERY3, mode="fudj"))
+
+result = db.execute(QUERY3, mode="fudj")
+print(f"\nHottest fires near in-park weather stations "
+      f"({len(result)} shown):")
+for row in result:
+    print(f"  fire {row['fire_id']:>4}: avg {row['avg_temp']:.1f}C over "
+          f"{row['readings']} readings")
+
+ontop = db.execute(QUERY3, mode="ontop")
+speedup = (ontop.metrics.simulated_seconds(12)
+           / result.metrics.simulated_seconds(12))
+print(f"\nSame answer as the NLJ plan, {speedup:.0f}x faster (simulated, "
+      "12 cores) — and this is the query class the paper says no DBMS "
+      "optimizes today.")
+assert sorted(map(repr, ontop.rows)) == sorted(map(repr, result.rows))

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on offline machines
+without the `wheel` package (PEP 660 editable builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""FUDJ: Flexible User-Defined Distributed Joins - reproduction library.
+
+Reproduces Sevim et al., *FUDJ: Flexible User-Defined Distributed Joins*
+(ICDE 2024): the FUDJ programming model, a distributed query engine
+substrate with a FUDJ-aware optimizer, the paper's three join libraries
+(spatial, overlapping-interval, text-similarity), built-in operator
+baselines, and the full benchmark suite.
+
+Quick start::
+
+    from repro import Database
+    from repro.joins import SpatialContainsJoin
+
+    db = Database()
+    ...
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core import FlexibleJoin, JoinSide, StandaloneRunner
+from repro.database import Database
+from repro.engine.costs import CostModel
+from repro.engine.executor import QueryResult
+from repro.optimizer import ExecutionMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "FlexibleJoin",
+    "JoinSide",
+    "StandaloneRunner",
+    "ExecutionMode",
+    "QueryResult",
+    "CostModel",
+    "__version__",
+]

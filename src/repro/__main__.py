@@ -1,0 +1,7 @@
+"""``python -m repro`` — launch the FUDJ SQL shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,25 @@
+"""Benchmark plumbing: workload builders, experiment harness, LOC counter."""
+
+from repro.bench.harness import format_table, run_query
+from repro.bench.loc import count_code_lines, table2_loc
+from repro.bench.workloads import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+
+__all__ = [
+    "run_query",
+    "format_table",
+    "count_code_lines",
+    "table2_loc",
+    "spatial_database",
+    "interval_database",
+    "text_database",
+    "SPATIAL_SQL",
+    "INTERVAL_SQL",
+    "TEXT_SQL",
+]

@@ -1,0 +1,99 @@
+"""Terminal charts for the benchmark reports.
+
+The paper's figures are line/bar charts; the bench suite reproduces their
+*data* as tables, and these helpers add a visual rendering so the shape
+(crossovers, U-curves, flat scaling) is visible at a glance in a
+terminal or a results file.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(rows, width: int = 46, log: bool = False,
+              title: str = None) -> str:
+    """Horizontal bar chart.
+
+    Args:
+        rows: list of ``(label, value)`` with non-negative values.
+        width: maximum bar width in characters.
+        log: scale bars by log10 (for series spanning decades, like the
+            on-top vs FUDJ comparisons).
+        title: optional heading line.
+    """
+    rows = [(str(label), float(value)) for label, value in rows]
+    if any(value < 0 for _, value in rows):
+        raise ValueError("bar_chart takes non-negative values")
+    lines = [title] if title else []
+    if not rows:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label, _ in rows)
+
+    def scaled(value: float) -> float:
+        if not log:
+            return value
+        # Map [min positive / 10, max] onto a positive log range.
+        return math.log10(value / floor) if value > 0 else 0.0
+
+    positives = [v for _, v in rows if v > 0]
+    floor = min(positives) / 10 if positives else 1.0
+    top = max((scaled(v) for _, v in rows), default=0.0)
+    for label, value in rows:
+        units = 0.0 if top <= 0 else scaled(value) / top * width
+        whole = int(units)
+        bar = _BAR * whole + (_HALF if units - whole >= 0.5 else "")
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def series_chart(x_values, series: dict, height: int = 12, width: int = 60,
+                 log_y: bool = False, title: str = None,
+                 x_label: str = "", y_label: str = "") -> str:
+    """A multi-series scatter/line chart on a character grid.
+
+    Args:
+        x_values: shared x coordinates (numeric).
+        series: mapping label -> list of y values (same length as
+            ``x_values``); each series is drawn with its own marker.
+        log_y: log-scale the y axis (for order-of-magnitude gaps).
+    """
+    markers = "ox+*#@%&"
+    xs = [float(x) for x in x_values]
+    if not xs or not series:
+        return title or "(no data)"
+    all_y = [y for ys in series.values() for y in ys if y is not None]
+    if log_y:
+        all_y = [y for y in all_y if y > 0]
+
+    def ty(y):
+        return math.log10(y) if log_y else y
+
+    y_min, y_max = min(map(ty, all_y)), max(map(ty, all_y))
+    x_min, x_max = min(xs), max(xs)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, ys) in zip(markers, series.items()):
+        for x, y in zip(xs, ys):
+            if y is None or (log_y and y <= 0):
+                continue
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((ty(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = [title] if title else []
+    axis_note = " (log y)" if log_y else ""
+    lines.append(f"y: {y_label or 'value'}{axis_note}  "
+                 f"[{min(all_y):.3g} .. {max(all_y):.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_label or 'x'}  [{x_min:.3g} .. {x_max:.3g}]")
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)

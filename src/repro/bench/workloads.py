@@ -1,0 +1,96 @@
+"""Ready-made benchmark databases matching the paper's experiment queries.
+
+Each builder loads a seeded synthetic dataset, registers the FUDJ library
+*and* the built-in operator for the join, and returns the Database — so a
+benchmark can run the same SQL in all three execution modes (paper
+Query 5).
+"""
+
+from __future__ import annotations
+
+from repro.builtin import install_builtin_joins
+from repro.database import Database
+from repro.datagen import (
+    generate_parks,
+    generate_reviews,
+    generate_taxi_rides,
+    generate_wildfires,
+)
+from repro.joins import (
+    IntervalJoin,
+    ReferencePointSpatialJoin,
+    SpatialContainsJoin,
+    TextSimilarityJoin,
+)
+
+#: The paper's experiment queries (Query 5), modulo schema spelling.
+SPATIAL_SQL = (
+    "SELECT p.id, COUNT(1) AS c FROM Parks p, Wildfires w "
+    "WHERE ST_Contains(p.boundary, w.location) GROUP BY p.id"
+)
+TEXT_SQL = (
+    "SELECT COUNT(1) AS c FROM AmazonReview r1, AmazonReview r2 "
+    "WHERE r1.overall = 5 AND r2.overall = 4 AND "
+    "similarity_jaccard(r1.review, r2.review) >= {threshold}"
+)
+INTERVAL_SQL = (
+    "SELECT COUNT(1) AS c FROM NYCTaxi n1, NYCTaxi n2 "
+    "WHERE n1.vendor = 1 AND n2.vendor = 2 AND "
+    "overlapping_interval(n1.ride_interval, n2.ride_interval)"
+)
+
+
+def spatial_database(num_parks: int, num_fires: int, partitions: int = 8,
+                     grid_n: int = 48, plane_sweep: bool = False,
+                     reference_point: bool = False, seed: int = 42) -> Database:
+    """Parks + Wildfires database with spatial joins installed.
+
+    ``reference_point`` swaps the FUDJ library for the variant with the
+    reference-point dedup override (Fig 12b).
+    """
+    db = Database(num_partitions=partitions)
+    db.create_type("ParkType", [("id", "int"), ("boundary", "geometry"),
+                                ("tags", "string")])
+    db.create_dataset("Parks", "ParkType", "id")
+    db.load("Parks", generate_parks(num_parks, seed=seed))
+    db.create_type("FireType", [("id", "int"), ("location", "point"),
+                                ("fire_start", "double"), ("fire_end", "double")])
+    db.create_dataset("Wildfires", "FireType", "id")
+    db.load("Wildfires", generate_wildfires(num_fires, seed=seed + 1))
+    join_class = ReferencePointSpatialJoin if reference_point else SpatialContainsJoin
+    db.create_join("st_contains", join_class, defaults=(grid_n,))
+    install_builtin_joins(db, spatial_n=grid_n, plane_sweep=plane_sweep)
+    return db
+
+
+def interval_database(num_rides: int, partitions: int = 8,
+                      num_buckets: int = 100, seed: int = 44) -> Database:
+    """NYCTaxi-like database with the interval joins installed."""
+    db = Database(num_partitions=partitions)
+    db.create_type("TaxiType", [("id", "int"), ("vendor", "int"),
+                                ("ride_interval", "interval")])
+    db.create_dataset("NYCTaxi", "TaxiType", "id")
+    db.load("NYCTaxi", generate_taxi_rides(num_rides, seed=seed))
+    db.create_join("overlapping_interval", IntervalJoin, defaults=(num_buckets,))
+    install_builtin_joins(db, interval_buckets=num_buckets)
+    return db
+
+
+def text_database(num_reviews: int, partitions: int = 8,
+                  vocab_size: int = None, seed: int = 45) -> Database:
+    """AmazonReview-like database with the text-similarity joins installed.
+
+    The threshold is a query parameter (``similarity_jaccard(...) >= t``),
+    so nothing is fixed here.
+    """
+    db = Database(num_partitions=partitions)
+    db.create_type("ReviewType", [("id", "int"), ("overall", "int"),
+                                  ("review", "text")])
+    db.create_dataset("AmazonReview", "ReviewType", "id")
+    if vocab_size is None:
+        vocab_size = max(100, num_reviews // 4)
+    db.load("AmazonReview", generate_reviews(num_reviews, seed=seed,
+                                             vocab_size=vocab_size))
+    db.create_join("similarity_jaccard", TextSimilarityJoin)
+    install_builtin_joins(db)
+    return db

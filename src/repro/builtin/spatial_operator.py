@@ -1,0 +1,226 @@
+"""Built-in PBSM spatial join operator (hand-written baseline).
+
+This is the operator a DBMS developer would write to add PBSM to the
+engine: its own summary pass, grid construction, tile replication,
+bucket-id exchange, per-tile verification, and reference-point duplicate
+avoidance — all fused, no FUDJ framework, no translation layer.  The
+:class:`AdvancedSpatialJoinOperator` subclass adds the local plane-sweep
+optimization of paper §VII-F.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.errors import ExecutionError
+from repro.geometry import UniformGrid, contains, intersects, mbr_of, plane_sweep_pairs
+
+
+class BuiltinSpatialJoinOperator(PhysicalOperator):
+    """PBSM as a dedicated engine operator.
+
+    Args:
+        left, right: child operators.
+        left_key, right_key: Record -> geometry extractors.
+        n: grid size (n x n tiles over the joint MBR intersection).
+        predicate: ``"intersects"`` or ``"contains"`` — the verification
+            predicate applied to each candidate pair.
+    """
+
+    label = "builtin-spatial-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key, right_key, n: int = 64,
+                 predicate: str = "intersects") -> None:
+        super().__init__()
+        if n < 1:
+            raise ExecutionError(f"grid size must be >= 1, got {n}")
+        if predicate not in ("intersects", "contains"):
+            raise ExecutionError(f"unknown spatial predicate: {predicate}")
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.n = n
+        self.predicate = predicate
+
+    def describe(self) -> str:
+        return f"BUILTIN SPATIAL JOIN [{self.predicate}] (n={self.n})"
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+    # -- phase 1: MBR summary ----------------------------------------------------
+
+    def _side_mbr(self, result: OperatorResult, key_fn, ctx: ExecutionContext):
+        stage = ctx.metrics.stage(f"{self.stage_name}/mbr")
+        model = ctx.cost_model
+        side_mbr = None
+        for worker, partition in enumerate(result.partitions):
+            local = None
+            for record in partition:
+                box = mbr_of(key_fn(record))
+                local = box if local is None else local.union(box)
+            stage.charge(worker, len(partition) * model.record_touch)
+            if local is not None:
+                side_mbr = local if side_mbr is None else side_mbr.union(local)
+        stage.network_bytes += 64 * max(0, ctx.num_partitions - 1)
+        return side_mbr
+
+    # -- phase 2: tile replication + exchange --------------------------------------
+
+    def _replicate(self, result: OperatorResult, key_fn, grid,
+                   ctx: ExecutionContext, tag: str) -> list:
+        """Per worker, emit (tile_id, mbr, geometry, record) entries and
+        hash-exchange them on tile id."""
+        stage = ctx.metrics.stage(f"{self.stage_name}/tiles-{tag}")
+        model = ctx.cost_model
+        assigned = []
+        for worker, partition in enumerate(result.partitions):
+            rows = []
+            replicas = 0
+            for record in partition:
+                geometry = key_fn(record)
+                box = mbr_of(geometry)
+                tile_ids = grid.overlapping_tile_ids(box)
+                replicas += len(tile_ids)
+                for tile_id in tile_ids:
+                    rows.append((tile_id, box, geometry, record))
+            stage.charge(
+                worker,
+                len(partition) * model.record_touch + replicas * model.hash_op,
+            )
+            stage.records_in += len(partition)
+            stage.records_out += len(rows)
+            assigned.append(rows)
+        return self._exchange(assigned, ctx, f"{self.stage_name}/x-{tag}")
+
+    @staticmethod
+    def _exchange(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
+        stage = ctx.metrics.stage(stage_name)
+        model = ctx.cost_model
+        out = [[] for _ in range(ctx.num_partitions)]
+        for worker, entries in enumerate(assigned):
+            moved_bytes = 0
+            for entry in entries:
+                target = hash(entry[0]) % ctx.num_partitions
+                out[target].append(entry)
+                if target != worker:
+                    moved_bytes += 9 + entry[3].serialized_size()
+                stage.charge(worker, model.hash_op)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            stage.records_in += len(entries)
+        stage.records_out = sum(len(p) for p in out)
+        return out
+
+    # -- phase 3: per-tile join -------------------------------------------------------
+
+    def _verify(self, geometry1, geometry2) -> bool:
+        if self.predicate == "contains":
+            return contains(geometry1, geometry2)
+        return intersects(geometry1, geometry2)
+
+    def _join_tile(self, tile_id, left_entries, right_entries, grid,
+                   out_schema, counter):
+        """All-pairs verification within one tile, reference-point dedup."""
+        rows = []
+        for _, mbr1, geom1, record1 in left_entries:
+            for _, mbr2, geom2, record2 in right_entries:
+                counter["pairs"] += 1
+                if not mbr1.intersects(mbr2):
+                    continue
+                if grid.reference_tile_id(mbr1, mbr2) != tile_id:
+                    continue  # another tile owns this pair
+                matched = self._verify(geom1, geom2)
+                counter["verified"] += 1
+                counter["hits"] += 1 if matched else 0
+                if matched:
+                    rows.append(record1.concat(record2, out_schema))
+        return rows
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+
+        left_mbr = self._side_mbr(left, self.left_key, ctx)
+        right_mbr = self._side_mbr(right, self.right_key, ctx)
+        out_schema = left.schema.concat(right.schema)
+        if left_mbr is None or right_mbr is None:
+            return OperatorResult([[] for _ in range(ctx.num_partitions)], out_schema)
+        overlap = left_mbr.intersection(right_mbr)
+        if overlap is None:
+            return OperatorResult([[] for _ in range(ctx.num_partitions)], out_schema)
+        grid = UniformGrid(overlap, self.n)
+
+        left_parts = self._replicate(left, self.left_key, grid, ctx, "left")
+        right_parts = self._replicate(right, self.right_key, grid, ctx, "right")
+
+        stage = ctx.metrics.stage(f"{self.stage_name}/join")
+        model = ctx.cost_model
+        out = []
+        for worker in range(ctx.num_partitions):
+            tiles_left = defaultdict(list)
+            for entry in left_parts[worker]:
+                tiles_left[entry[0]].append(entry)
+            tiles_right = defaultdict(list)
+            for entry in right_parts[worker]:
+                tiles_right[entry[0]].append(entry)
+            counter = {"pairs": 0, "verified": 0, "hits": 0}
+            rows = []
+            for tile_id, left_entries in tiles_left.items():
+                right_entries = tiles_right.get(tile_id)
+                if right_entries:
+                    rows.extend(
+                        self._join_tile(tile_id, left_entries, right_entries,
+                                        grid, out_schema, counter)
+                    )
+            misses = counter["verified"] - counter["hits"]
+            stage.charge(
+                worker,
+                counter["pairs"] * model.comparison
+                + counter["hits"] * model.expensive_predicate
+                + misses * model.predicate_units(model.expensive_predicate, False),
+            )
+            ctx.metrics.comparisons += counter["pairs"]
+            stage.records_out += len(rows)
+            out.append(rows)
+        result = OperatorResult(out, out_schema)
+        ctx.metrics.output_records = len(result)
+        return result
+
+
+class AdvancedSpatialJoinOperator(BuiltinSpatialJoinOperator):
+    """The §VII-F operator: plane-sweep within each tile.
+
+    Geometries in a tile are sorted by min-x and swept, so MBR tests drop
+    from ``O(|L| * |R|)`` to near ``O((|L|+|R|) log + k)`` per tile —
+    the local join optimization the paper measures at ~1.38x.
+    """
+
+    label = "advanced-spatial-join"
+
+    def describe(self) -> str:
+        return f"ADVANCED SPATIAL JOIN [plane-sweep, {self.predicate}] (n={self.n})"
+
+    def _join_tile(self, tile_id, left_entries, right_entries, grid,
+                   out_schema, counter):
+        def count():
+            counter["pairs"] += 1
+
+        sweep_left = [(mbr, (mbr, geom, rec)) for _, mbr, geom, rec in left_entries]
+        sweep_right = [(mbr, (mbr, geom, rec)) for _, mbr, geom, rec in right_entries]
+        rows = []
+        for (mbr1, geom1, record1), (mbr2, geom2, record2) in plane_sweep_pairs(
+            sweep_left, sweep_right, counter=count
+        ):
+            if grid.reference_tile_id(mbr1, mbr2) != tile_id:
+                continue
+            matched = self._verify(geom1, geom2)
+            counter["verified"] += 1
+            counter["hits"] += 1 if matched else 0
+            if matched:
+                rows.append(record1.concat(record2, out_schema))
+        return rows

@@ -1,0 +1,109 @@
+"""Catalog metadata objects.
+
+The catalog records what exists (types, datasets, joins); the cluster owns
+the actual partitioned data, and the join registry owns FUDJ libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+#: Field types the DDL accepts.  They are descriptive — records carry
+#: boxed values whose runtime type is authoritative — but the parser and
+#: examples use them, so unknown names are rejected early.
+VALID_FIELD_TYPES = frozenset({
+    "uuid", "string", "text", "int", "int64", "bigint", "float", "double",
+    "boolean", "geometry", "point", "polygon", "rectangle", "interval",
+    "datetime", "list", "trajectory",
+})
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """A named record type: ``CREATE TYPE``."""
+
+    name: str
+    fields: tuple  # ((field_name, type_name), ...)
+
+    @property
+    def field_names(self) -> tuple:
+        return tuple(name for name, _ in self.fields)
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """A dataset's catalog entry: ``CREATE DATASET``."""
+
+    name: str
+    type_name: str
+    field_names: tuple
+    primary_key: str
+
+
+class Catalog:
+    """Types and dataset metadata for one database."""
+
+    def __init__(self) -> None:
+        self._types = {}
+        self._datasets = {}
+
+    # -- types ----------------------------------------------------------------
+
+    def create_type(self, name: str, fields) -> TypeInfo:
+        if name in self._types:
+            raise CatalogError(f"type already exists: {name}")
+        normalized = []
+        for field_name, type_name in fields:
+            type_name = type_name.lower()
+            if type_name not in VALID_FIELD_TYPES:
+                raise CatalogError(
+                    f"unknown field type {type_name!r} for {name}.{field_name}"
+                )
+            normalized.append((field_name, type_name))
+        if not normalized:
+            raise CatalogError(f"type {name} has no fields")
+        info = TypeInfo(name, tuple(normalized))
+        self._types[name] = info
+        return info
+
+    def type_info(self, name: str) -> TypeInfo:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise CatalogError(f"no such type: {name}") from None
+
+    def has_type(self, name: str) -> bool:
+        return name in self._types
+
+    # -- datasets --------------------------------------------------------------
+
+    def create_dataset(self, name: str, type_name: str, primary_key: str) -> DatasetInfo:
+        if name in self._datasets:
+            raise CatalogError(f"dataset already exists: {name}")
+        type_info = self.type_info(type_name)
+        if primary_key not in type_info.field_names:
+            raise CatalogError(
+                f"primary key {primary_key!r} is not a field of type {type_name}"
+            )
+        info = DatasetInfo(name, type_name, type_info.field_names, primary_key)
+        self._datasets[name] = info
+        return info
+
+    def drop_dataset(self, name: str) -> None:
+        if name not in self._datasets:
+            raise CatalogError(f"no such dataset: {name}")
+        del self._datasets[name]
+
+    def dataset_info(self, name: str) -> DatasetInfo:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise CatalogError(f"no such dataset: {name}") from None
+
+    def has_dataset(self, name: str) -> bool:
+        return name in self._datasets
+
+    def dataset_names(self) -> list:
+        return sorted(self._datasets)

@@ -1,0 +1,227 @@
+"""An interactive SQL shell and script runner for the FUDJ database.
+
+Usage::
+
+    python -m repro                 # interactive shell
+    python -m repro script.sql      # run a ;-separated script
+    python -m repro --demo spatial  # preload a synthetic demo workload
+
+Inside the shell, statements end with ``;``.  Dot-commands control the
+session:
+
+    .mode fudj|builtin|ontop    execution mode for joins
+    .dedup avoidance|elimination|none|default
+    .demo spatial|interval|text load a synthetic demo workload
+    .save <dir>                 persist the database to disk
+    .open <dir>                 load a database saved with .save
+    .datasets                   list datasets
+    .joins                      list installed joins
+    .timing on|off              print per-query timings
+    .help                       this text
+    .quit                       exit
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.database import Database
+from repro.errors import ReproError
+
+_HELP = __doc__.split("Inside the shell", 1)[1]
+_MAX_ROWS = 40
+
+
+class Shell:
+    """The shell engine, decoupled from stdin/stdout for testability.
+
+    Args:
+        db: the database to run against (a fresh one by default).
+        write: sink for output lines (defaults to ``print``).
+    """
+
+    def __init__(self, db: Database = None, write=print) -> None:
+        self.db = db or Database()
+        self.write = write
+        self.mode = "fudj"
+        self.dedup = None
+        self.timing = True
+        self._buffer = []
+
+    # -- line-oriented driver ------------------------------------------------------
+
+    def feed(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should
+        exit."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            return self._dot_command(stripped)
+        if not stripped:
+            return True
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            self.run_statement(statement)
+        return True
+
+    def run_script(self, text: str) -> None:
+        """Execute a whole ;-separated script."""
+        for line in text.splitlines():
+            if not self.feed(line):
+                break
+        if self._buffer:
+            self.run_statement("\n".join(self._buffer))
+            self._buffer = []
+
+    # -- statements -------------------------------------------------------------------
+
+    def run_statement(self, sql: str) -> None:
+        try:
+            result = self.db.execute(sql, mode=self.mode, dedup=self.dedup)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self._print_result(result)
+
+    def _print_result(self, result) -> None:
+        if result.schema == ("plan",):
+            for row in result.rows:
+                self.write(row["plan"])
+        elif result.schema:
+            from repro.bench.harness import format_table
+
+            rows = [
+                [row[name] for name in result.schema]
+                for row in result.rows[:_MAX_ROWS]
+            ]
+            self.write(format_table(list(result.schema), rows))
+            if len(result.rows) > _MAX_ROWS:
+                self.write(f"... ({len(result.rows) - _MAX_ROWS} more rows)")
+        else:
+            self.write("ok")
+        if self.timing and result.metrics.wall_seconds:
+            cores = self.db.cluster.cores
+            self.write(
+                f"[{len(result.rows)} row(s), "
+                f"wall {result.metrics.wall_seconds * 1000:.1f} ms, "
+                f"simulated {result.metrics.simulated_seconds(cores) * 1000:.2f} ms "
+                f"on {cores} cores]"
+            )
+
+    # -- dot commands ------------------------------------------------------------------
+
+    def _dot_command(self, command: str) -> bool:
+        parts = command.split()
+        name, args = parts[0], parts[1:]
+        if name in (".quit", ".exit"):
+            return False
+        if name == ".help":
+            self.write(_HELP)
+        elif name == ".mode":
+            if args and args[0] in ("fudj", "builtin", "ontop"):
+                self.mode = args[0]
+                self.write(f"mode = {self.mode}")
+            else:
+                self.write("usage: .mode fudj|builtin|ontop")
+        elif name == ".dedup":
+            if args and args[0] in ("avoidance", "elimination", "none",
+                                    "default"):
+                self.dedup = None if args[0] == "default" else args[0]
+                self.write(f"dedup = {args[0]}")
+            else:
+                self.write("usage: .dedup avoidance|elimination|none|default")
+        elif name == ".timing":
+            if args and args[0] in ("on", "off"):
+                self.timing = args[0] == "on"
+                self.write(f"timing = {args[0]}")
+            else:
+                self.write("usage: .timing on|off")
+        elif name == ".datasets":
+            for dataset in self.db.catalog.dataset_names():
+                count = len(self.db.cluster.dataset(dataset))
+                self.write(f"{dataset}  ({count} records)")
+        elif name == ".joins":
+            for join_name in self.db.joins.names():
+                self.write(str(self.db.joins.signature(join_name)))
+        elif name == ".demo":
+            self._load_demo(args[0] if args else "spatial")
+        elif name == ".save":
+            if not args:
+                self.write("usage: .save <dir>")
+            else:
+                from repro.storage import save_database
+
+                save_database(self.db, args[0])
+                self.write(f"saved to {args[0]}")
+        elif name == ".open":
+            if not args:
+                self.write("usage: .open <dir>")
+            else:
+                from repro.errors import ReproError
+                from repro.storage import load_database
+
+                try:
+                    self.db = load_database(args[0])
+                except ReproError as exc:
+                    self.write(f"error: {exc}")
+                else:
+                    self.write(f"opened {args[0]}")
+                    self._dot_command(".datasets")
+        else:
+            self.write(f"unknown command {name!r}; try .help")
+        return True
+
+    def _load_demo(self, which: str) -> None:
+        """Replace the session database with a loaded demo workload."""
+        from repro.bench import workloads
+
+        builders = {
+            "spatial": lambda: workloads.spatial_database(200, 2000),
+            "interval": lambda: workloads.interval_database(2000),
+            "text": lambda: workloads.text_database(1500),
+        }
+        builder = builders.get(which)
+        if builder is None:
+            self.write("usage: .demo spatial|interval|text")
+            return
+        self.db = builder()
+        queries = {
+            "spatial": workloads.SPATIAL_SQL,
+            "interval": workloads.INTERVAL_SQL,
+            "text": workloads.TEXT_SQL.format(threshold=0.9),
+        }
+        self.write(f"loaded the {which} demo; datasets:")
+        self._dot_command(".datasets")
+        self.write("try:")
+        self.write(f"  {queries[which]};")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    if argv and argv[0] == "--demo":
+        shell._load_demo(argv[1] if len(argv) > 1 else "spatial")
+        argv = argv[2:]
+    if argv:
+        try:
+            with open(argv[0]) as handle:
+                shell.run_script(handle.read())
+        except OSError as exc:
+            print(f"cannot read script: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    print("FUDJ shell — statements end with ';', .help for commands")
+    try:
+        while True:
+            prompt = "fudj> " if not shell._buffer else "  ... "
+            try:
+                line = input(prompt)
+            except EOFError:
+                break
+            if not shell.feed(line):
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0

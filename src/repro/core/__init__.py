@@ -1,0 +1,27 @@
+"""The FUDJ programming model (the paper's primary contribution).
+
+A developer implements a new partition-based distributed join by
+subclassing :class:`~repro.core.flexible_join.FlexibleJoin` and overriding
+a handful of small functions (``summarize``/``divide``/``assign``/
+``match``/``verify``/``dedup``).  The engine supplies everything else:
+distributed aggregation, shuffles, bucket matching, verification, and
+duplicate handling.
+"""
+
+from repro.core.flexible_join import FlexibleJoin, JoinSide
+from repro.core.library import JoinRegistry, JoinSignature, load_join_class
+from repro.core.standalone import StandaloneRunner
+from repro.core.dedup import DedupStrategy, DuplicateAvoidance, DuplicateElimination, NoDedup
+
+__all__ = [
+    "FlexibleJoin",
+    "JoinSide",
+    "JoinRegistry",
+    "JoinSignature",
+    "load_join_class",
+    "StandaloneRunner",
+    "DedupStrategy",
+    "DuplicateAvoidance",
+    "DuplicateElimination",
+    "NoDedup",
+]

@@ -1,0 +1,81 @@
+"""Duplicate-handling strategies for multi-assign joins (paper §III-B, §VII-E).
+
+Multi-assign partitioning replicates records across buckets, so the same
+logical result pair can be produced by several bucket pairs.  Two remedies
+exist:
+
+- **Duplicate avoidance** (the FUDJ default): each worker decides locally,
+  per candidate pair, whether *its* bucket pair is the canonical one, and
+  drops the pair otherwise.  No extra shuffle.
+- **Duplicate elimination**: emit everything, then run a distributed
+  distinct (one more shuffle on the pair identity) — the method of the
+  original set-similarity study, kept here as the comparison point of
+  Fig 12a.
+"""
+
+from __future__ import annotations
+
+from repro.core.flexible_join import FlexibleJoin
+
+
+class DedupStrategy:
+    """Interface: how the combine phase suppresses duplicate pairs."""
+
+    name = "dedup"
+
+    #: True when the strategy needs a post-join distinct shuffle.
+    requires_shuffle = False
+
+    def keep_local(self, join: FlexibleJoin, bucket_id1: int, key1,
+                   bucket_id2: int, key2, pplan) -> bool:
+        """Local decision made where the pair was produced."""
+        raise NotImplementedError
+
+
+class DuplicateAvoidance(DedupStrategy):
+    """The default: delegate to ``join.dedup`` (assignment-based avoidance
+    or whatever the developer overrode it with)."""
+
+    name = "avoidance"
+    requires_shuffle = False
+
+    def keep_local(self, join, bucket_id1, key1, bucket_id2, key2, pplan):
+        return join.dedup(bucket_id1, key1, bucket_id2, key2, pplan)
+
+
+class DuplicateElimination(DedupStrategy):
+    """Emit all pairs locally; a global distinct runs afterwards.
+
+    ``keep_local`` always says yes; the engine adds a pair-identity
+    shuffle + distinct stage when ``requires_shuffle`` is set.
+    """
+
+    name = "elimination"
+    requires_shuffle = True
+
+    def keep_local(self, join, bucket_id1, key1, bucket_id2, key2, pplan):
+        return True
+
+
+class NoDedup(DedupStrategy):
+    """For single-assign joins: duplicates cannot occur, skip all checks."""
+
+    name = "none"
+    requires_shuffle = False
+
+    def keep_local(self, join, bucket_id1, key1, bucket_id2, key2, pplan):
+        return True
+
+
+def strategy_for(join: FlexibleJoin, override: DedupStrategy = None) -> DedupStrategy:
+    """Pick the dedup strategy for a join instance.
+
+    ``override`` wins (that is how Fig 12a compares strategies); otherwise
+    joins that declare ``uses_dedup() == False`` get :class:`NoDedup` and
+    everything else gets the default :class:`DuplicateAvoidance`.
+    """
+    if override is not None:
+        return override
+    if not join.uses_dedup():
+        return NoDedup()
+    return DuplicateAvoidance()

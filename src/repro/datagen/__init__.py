@@ -1,0 +1,28 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+Table I's real datasets (Parks, Wildfires, NYCTaxi, AmazonReview) are not
+available offline, so these generators produce seeded synthetic data with
+the same key types and the characteristics the experiments depend on:
+spatial clustering (wildfires cluster in hotspots, parks vary in size),
+temporal overlap density (taxi rides of realistic lengths across a day
+span), and Zipf-distributed vocabulary (reviews share common words and
+differ in rare ones — what prefix filtering exploits).
+"""
+
+from repro.datagen.distributions import ZipfSampler, clustered_points
+from repro.datagen.spatial import generate_parks, generate_wildfires
+from repro.datagen.taxi import generate_taxi_rides
+from repro.datagen.reviews import generate_reviews
+from repro.datagen.trajectories import generate_trajectories
+from repro.datagen.stats import dataset_summary
+
+__all__ = [
+    "ZipfSampler",
+    "clustered_points",
+    "generate_parks",
+    "generate_wildfires",
+    "generate_taxi_rides",
+    "generate_reviews",
+    "generate_trajectories",
+    "dataset_summary",
+]

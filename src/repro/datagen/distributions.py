@@ -1,0 +1,70 @@
+"""Reusable random distributions for the workload generators."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.geometry import Point, Rectangle
+
+
+class ZipfSampler:
+    """Draw integers in ``[0, n)`` with probability proportional to
+    ``1 / (rank + 1) ** s`` — the classic Zipf word-frequency shape.
+
+    Precomputes the CDF once, so each draw is a binary search.
+    """
+
+    def __init__(self, n: int, s: float = 1.0, rng: random.Random = None) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        self.n = n
+        self.s = s
+        self.rng = rng or random.Random()
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self) -> int:
+        """One Zipf-distributed rank."""
+        return bisect.bisect_left(self._cdf, self.rng.random())
+
+    def sample_many(self, count: int) -> list:
+        return [self.sample() for _ in range(count)]
+
+
+def clustered_points(count: int, extent: Rectangle, num_clusters: int,
+                     spread: float, rng: random.Random,
+                     uniform_fraction: float = 0.2) -> list:
+    """Points concentrated around random hotspots plus a uniform background.
+
+    This mimics real spatial data (wildfires cluster geographically): a
+    record is drawn from a Gaussian around one of ``num_clusters`` centers
+    with probability ``1 - uniform_fraction``, otherwise uniformly.
+    Points are clamped to the extent.
+    """
+    if num_clusters < 1:
+        raise ValueError(f"need >= 1 cluster, got {num_clusters}")
+    centers = [
+        Point(rng.uniform(extent.x1, extent.x2), rng.uniform(extent.y1, extent.y2))
+        for _ in range(num_clusters)
+    ]
+    points = []
+    for _ in range(count):
+        if rng.random() < uniform_fraction:
+            x = rng.uniform(extent.x1, extent.x2)
+            y = rng.uniform(extent.y1, extent.y2)
+        else:
+            center = rng.choice(centers)
+            x = rng.gauss(center.x, spread)
+            y = rng.gauss(center.y, spread)
+        x = min(max(x, extent.x1), extent.x2)
+        y = min(max(y, extent.y1), extent.y2)
+        points.append(Point(x, y))
+    return points

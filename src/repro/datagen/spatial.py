@@ -1,0 +1,90 @@
+"""Synthetic Parks (polygons) and Wildfires (points) datasets.
+
+Stand-ins for the UCR-STAR Parks and WildfireDB datasets of Table I:
+parks are irregular polygons of widely varying size (a Zipf-ish radius
+distribution — a few huge national parks, many small city parks) tagged
+with descriptive words; wildfires are clustered points with start times.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.datagen.distributions import clustered_points
+from repro.geometry import Point, Polygon, Rectangle
+
+#: The synthetic world; think "degrees" on a small continent.
+WORLD = Rectangle(0.0, 0.0, 360.0, 180.0)
+
+#: Tag vocabulary for the text-similarity motivation query (Query 2).
+PARK_TAGS = (
+    "river", "scenic", "landscape", "camping", "backpacking", "hiking",
+    "lake", "mountain", "forest", "desert", "beach", "wildlife", "fishing",
+    "climbing", "waterfall", "canyon", "meadow", "historic", "picnic",
+    "playground",
+)
+
+#: One year of wildfire start times, in epoch-like day units.
+FIRE_SEASON = (0.0, 365.0)
+
+
+def _irregular_polygon(center: Point, radius: float, rng: random.Random,
+                       vertices: int = None) -> Polygon:
+    """A star-convex polygon with jittered radii — irregular but simple."""
+    sides = vertices or rng.randint(4, 9)
+    step = 2.0 * math.pi / sides
+    phase = rng.uniform(0.0, step)
+    ring = []
+    for i in range(sides):
+        r = radius * rng.uniform(0.55, 1.0)
+        angle = phase + i * step
+        ring.append(Point(center.x + r * math.cos(angle),
+                          center.y + r * math.sin(angle)))
+    return Polygon(ring)
+
+
+def generate_parks(count: int, seed: int = 42, extent: Rectangle = WORLD,
+                   max_radius: float = None) -> list:
+    """Rows for the Parks dataset: ``{id, boundary, tags}``.
+
+    Radii follow a heavy-tailed distribution so a few parks are huge;
+    that is what makes multi-assign replication (and therefore duplicate
+    handling) matter.
+    """
+    rng = random.Random(seed)
+    if max_radius is None:
+        max_radius = min(extent.width, extent.height) / 25.0
+    rows = []
+    for i in range(count):
+        center = Point(rng.uniform(extent.x1, extent.x2),
+                       rng.uniform(extent.y1, extent.y2))
+        # Pareto-ish radius: mostly small, occasionally near max_radius.
+        radius = min(max_radius, 0.3 + rng.paretovariate(2.5) * max_radius / 12.0)
+        tags = " ".join(sorted(rng.sample(PARK_TAGS, rng.randint(2, 6))))
+        rows.append({
+            "id": i,
+            "boundary": _irregular_polygon(center, radius, rng),
+            "tags": tags,
+        })
+    return rows
+
+
+def generate_wildfires(count: int, seed: int = 43, extent: Rectangle = WORLD,
+                       num_clusters: int = 12) -> list:
+    """Rows for the Wildfires dataset: ``{id, location, fire_start,
+    fire_end}``; locations cluster in hotspots."""
+    rng = random.Random(seed)
+    spread = min(extent.width, extent.height) / 18.0
+    locations = clustered_points(count, extent, num_clusters, spread, rng)
+    rows = []
+    season_start, season_end = FIRE_SEASON
+    for i, location in enumerate(locations):
+        start = rng.uniform(season_start, season_end - 1.0)
+        rows.append({
+            "id": i,
+            "location": location,
+            "fire_start": start,
+            "fire_end": start + rng.uniform(0.1, 20.0),
+        })
+    return rows

@@ -1,0 +1,42 @@
+"""Synthetic vehicle trajectories.
+
+Random walks that start in cluster hotspots (depots) and drift with
+momentum, producing the corridor-shaped paths real GPS traces have — the
+structure a trajectory proximity join exploits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.datagen.distributions import clustered_points
+from repro.geometry import Rectangle
+from repro.trajectory import Trajectory
+
+WORLD = Rectangle(0.0, 0.0, 200.0, 200.0)
+
+
+def generate_trajectories(count: int, seed: int = 46, extent: Rectangle = WORLD,
+                          points_per_trajectory: tuple = (4, 12),
+                          step: float = 3.0, num_depots: int = 8) -> list:
+    """Rows for a Trips dataset: ``{id, vehicle, route}``."""
+    rng = random.Random(seed)
+    spread = min(extent.width, extent.height) / 15.0
+    starts = clustered_points(count, extent, num_depots, spread, rng)
+    rows = []
+    for i, start in enumerate(starts):
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        x, y = start.x, start.y
+        points = [(x, y)]
+        for _ in range(rng.randint(*points_per_trajectory) - 1):
+            heading += rng.gauss(0.0, 0.5)  # momentum with drift
+            x = min(max(x + step * math.cos(heading), extent.x1), extent.x2)
+            y = min(max(y + step * math.sin(heading), extent.y1), extent.y2)
+            points.append((x, y))
+        rows.append({
+            "id": i,
+            "vehicle": rng.choice([1, 2]),
+            "route": Trajectory(points),
+        })
+    return rows

@@ -1,0 +1,24 @@
+"""The distributed query engine substrate (the AsterixDB stand-in).
+
+An in-process shared-nothing engine: datasets are hash-partitioned across
+simulated worker nodes, physical operators process partitions, and exchange
+operators move serialized records between workers.  Every operator charges
+its work to a :class:`~repro.engine.metrics.QueryMetrics` object, which can
+replay the schedule over any number of virtual cores — that is how the
+paper's scalability experiments (Fig 10, 12–144 cores) run on one machine.
+"""
+
+from repro.engine.record import Record, Schema
+from repro.engine.dataset import PartitionedDataset
+from repro.engine.cluster import Cluster
+from repro.engine.metrics import QueryMetrics
+from repro.engine.costs import CostModel
+
+__all__ = [
+    "Record",
+    "Schema",
+    "PartitionedDataset",
+    "Cluster",
+    "QueryMetrics",
+    "CostModel",
+]

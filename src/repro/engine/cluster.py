@@ -1,0 +1,66 @@
+"""The simulated shared-nothing cluster."""
+
+from __future__ import annotations
+
+from repro.engine.costs import CostModel, DEFAULT_COST_MODEL
+from repro.engine.dataset import PartitionedDataset
+from repro.engine.record import Schema
+from repro.errors import ExecutionError
+
+
+class Cluster:
+    """A fixed set of simulated worker partitions plus a core budget.
+
+    ``num_partitions`` is the data-parallelism degree (one partition per
+    worker slot, like AsterixDB's one-partition-per-iodevice layout);
+    ``cores`` is the compute budget used when converting charged work into
+    simulated time.  Queries always execute correctly regardless of either
+    number — only the simulated timings change.
+    """
+
+    def __init__(self, num_partitions: int = 12, cores: int = 12,
+                 cost_model: CostModel = None) -> None:
+        if num_partitions < 1:
+            raise ExecutionError(f"need >= 1 partition, got {num_partitions}")
+        if cores < 1:
+            raise ExecutionError(f"need >= 1 core, got {cores}")
+        self.num_partitions = num_partitions
+        self.cores = cores
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self._datasets = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.num_partitions} partitions, {self.cores} cores, "
+            f"{len(self._datasets)} datasets)"
+        )
+
+    # -- dataset storage -------------------------------------------------------
+
+    def create_dataset(self, name: str, schema: Schema,
+                       primary_key: str = None) -> PartitionedDataset:
+        """Create and register an empty partitioned dataset."""
+        if name in self._datasets:
+            raise ExecutionError(f"dataset already exists: {name}")
+        dataset = PartitionedDataset(name, schema, self.num_partitions, primary_key)
+        self._datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> PartitionedDataset:
+        """Look up a dataset by name."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise ExecutionError(f"no such dataset: {name}") from None
+
+    def drop_dataset(self, name: str) -> None:
+        """Remove a dataset (raises when absent)."""
+        if name not in self._datasets:
+            raise ExecutionError(f"no such dataset: {name}")
+        del self._datasets[name]
+
+    def has_dataset(self, name: str) -> bool:
+        return name in self._datasets
+
+    def dataset_names(self) -> list:
+        return sorted(self._datasets)

@@ -1,0 +1,41 @@
+"""Execution context shared by every physical operator in one query."""
+
+from __future__ import annotations
+
+from repro.engine.cluster import Cluster
+from repro.engine.metrics import QueryMetrics
+from repro.serde.translator import Translator
+
+
+class ExecutionContext:
+    """Everything an operator needs at runtime.
+
+    Attributes:
+        cluster: the simulated cluster (datasets + cost model).
+        metrics: cost accounting sink for this query.
+        translator: the FUDJ boundary translator (shared so that the
+            per-query conversion count is meaningful).
+        measure_bytes: when False, exchanges estimate record sizes from a
+            sample instead of serializing every record — a speed knob for
+            large benchmark sweeps; accuracy tests keep it True.
+    """
+
+    def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
+                 measure_bytes: bool = True) -> None:
+        self.cluster = cluster
+        self.metrics = metrics or QueryMetrics(cluster.cost_model)
+        self.translator = Translator()
+        self.measure_bytes = measure_bytes
+
+    @property
+    def num_partitions(self) -> int:
+        return self.cluster.num_partitions
+
+    @property
+    def cost_model(self):
+        return self.cluster.cost_model
+
+    def finish(self) -> QueryMetrics:
+        """Fold translator counters into the metrics and return them."""
+        self.metrics.translation_conversions = self.translator.total_conversions
+        return self.metrics

@@ -1,0 +1,98 @@
+"""Exchange (shuffle) primitives: hash, broadcast, and random repartition.
+
+Exchanges are the only operators that move records between workers, so
+they are the only place network bytes are charged.  Records are serialized
+for real (unless the context's ``measure_bytes`` speed knob is off, in
+which case sizes are extrapolated from a per-partition sample).
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+
+_SIZE_SAMPLE = 32
+
+
+def _partition_bytes(partition, ctx: ExecutionContext) -> int:
+    """Wire size of a partition, exact or sampled."""
+    if not partition:
+        return 0
+    if ctx.measure_bytes or len(partition) <= _SIZE_SAMPLE:
+        return sum(r.serialized_size() for r in partition)
+    sample = partition[:: max(1, len(partition) // _SIZE_SAMPLE)][:_SIZE_SAMPLE]
+    avg = sum(r.serialized_size() for r in sample) / len(sample)
+    return int(avg * len(partition))
+
+
+def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
+                  stage_name: str = "hash-exchange") -> list:
+    """Repartition by ``hash(key_fn(record))``.
+
+    Records whose key hashes to their current worker do not cross the
+    network (locality is modelled: roughly ``1/P`` of records stay put).
+    """
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    out = [[] for _ in range(ctx.num_partitions)]
+    for worker, partition in enumerate(partitions):
+        moved = []
+        for record in partition:
+            target = hash(key_fn(record)) % ctx.num_partitions
+            out[target].append(record)
+            if target != worker:
+                moved.append(record)
+            stage.charge(worker, model.hash_op + model.record_touch)
+        moved_bytes = _partition_bytes(moved, ctx)
+        stage.network_bytes += moved_bytes
+        stage.charge(worker, moved_bytes * model.serde_byte)
+        stage.records_in += len(partition)
+    stage.records_out = sum(len(p) for p in out)
+    return out
+
+
+def broadcast_exchange(partitions, ctx: ExecutionContext,
+                       stage_name: str = "broadcast-exchange") -> list:
+    """Replicate the full input to every worker.
+
+    Network cost is ``(P - 1) * |input bytes|`` — every worker needs a copy
+    and one copy is already local somewhere.
+    """
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    everything = [record for partition in partitions for record in partition]
+    total_bytes = _partition_bytes(everything, ctx)
+    replicas = max(0, ctx.num_partitions - 1)
+    stage.fabric_bytes += total_bytes * replicas
+    for worker in range(ctx.num_partitions):
+        stage.charge(
+            worker,
+            len(everything) * model.record_touch + total_bytes * model.serde_byte,
+        )
+    stage.records_in = len(everything)
+    stage.records_out = len(everything) * ctx.num_partitions
+    return [list(everything) for _ in range(ctx.num_partitions)]
+
+
+def random_exchange(partitions, ctx: ExecutionContext,
+                    stage_name: str = "random-exchange") -> list:
+    """Round-robin repartition (the theta-join fallback of paper §VII-C:
+    with no partitioning key available, one side is spread randomly)."""
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    out = [[] for _ in range(ctx.num_partitions)]
+    cursor = 0
+    for worker, partition in enumerate(partitions):
+        moved = []
+        for record in partition:
+            target = cursor % ctx.num_partitions
+            cursor += 1
+            out[target].append(record)
+            if target != worker:
+                moved.append(record)
+            stage.charge(worker, model.record_touch)
+        moved_bytes = _partition_bytes(moved, ctx)
+        stage.network_bytes += moved_bytes
+        stage.charge(worker, moved_bytes * model.serde_byte)
+        stage.records_in += len(partition)
+    stage.records_out = sum(len(p) for p in out)
+    return out

@@ -1,0 +1,47 @@
+"""Physical plan execution entry point."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.cluster import Cluster
+from repro.engine.context import ExecutionContext
+from repro.engine.metrics import QueryMetrics
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+
+
+@dataclass
+class QueryResult:
+    """What a query returns: rows (as plain dicts) plus metrics.
+
+    ``rows`` are materialized in result order (sorted plans put their
+    output on worker 0 first).
+    """
+
+    rows: list
+    schema: tuple
+    metrics: QueryMetrics
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """All values of one output column."""
+        return [row[name] for row in self.rows]
+
+
+def execute_plan(plan: PhysicalOperator, cluster: Cluster,
+                 measure_bytes: bool = True) -> QueryResult:
+    """Execute a physical plan on a cluster and collect rows + metrics."""
+    ctx = ExecutionContext(cluster, measure_bytes=measure_bytes)
+    started = time.perf_counter()
+    result: OperatorResult = plan.execute(ctx)
+    ctx.metrics.wall_seconds = time.perf_counter() - started
+    metrics = ctx.finish()
+    metrics.output_records = len(result)
+    rows = [record.to_dict() for record in result.all_records()]
+    return QueryResult(rows, result.schema.fields, metrics)

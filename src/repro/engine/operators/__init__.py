@@ -1,0 +1,53 @@
+"""Physical operators of the simulated engine.
+
+Every operator consumes/produces an :class:`OperatorResult` (partition
+lists plus the output schema) and charges its work to the query metrics.
+The planner composes these into physical plans; the FUDJ composite
+operator (:mod:`repro.engine.operators.fudj_join`) implements the whole
+Figure 8 pipeline on top of the same primitives.
+"""
+
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.operators.scan import Scan, Values
+from repro.engine.operators.filter import Distinct, Filter, Limit, MapColumns, Project
+from repro.engine.operators.aggregate import (
+    AggregateSpec,
+    AvgAgg,
+    CountAgg,
+    CountDistinctAgg,
+    GroupBy,
+    MaxAgg,
+    MinAgg,
+    ScalarAggregate,
+    SumAgg,
+)
+from repro.engine.operators.join import BlockNestedLoopJoin, HashJoin
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.unnest import Unnest
+from repro.engine.operators.fudj_join import FudjJoin
+
+__all__ = [
+    "PhysicalOperator",
+    "OperatorResult",
+    "Scan",
+    "Values",
+    "Filter",
+    "Project",
+    "MapColumns",
+    "Limit",
+    "Distinct",
+    "GroupBy",
+    "ScalarAggregate",
+    "AggregateSpec",
+    "CountAgg",
+    "CountDistinctAgg",
+    "SumAgg",
+    "AvgAgg",
+    "MinAgg",
+    "MaxAgg",
+    "HashJoin",
+    "BlockNestedLoopJoin",
+    "Sort",
+    "Unnest",
+    "FudjJoin",
+]

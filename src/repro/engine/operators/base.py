@@ -1,0 +1,59 @@
+"""Operator base class and the result type flowing between operators."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.engine.context import ExecutionContext
+from repro.engine.record import Schema
+
+_IDS = itertools.count(1)
+
+
+@dataclass
+class OperatorResult:
+    """Output of one physical operator: partitions plus their schema."""
+
+    partitions: list
+    schema: Schema
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def all_records(self):
+        """Yield every record across partitions."""
+        for partition in self.partitions:
+            yield from partition
+
+
+class PhysicalOperator:
+    """Base class for physical operators.
+
+    Subclasses implement :meth:`execute`.  ``stage_name`` is unique per
+    operator instance so metrics can tell two filters apart.
+    """
+
+    label = "operator"
+
+    def __init__(self) -> None:
+        self.stage_name = f"{self.label}#{next(_IDS)}"
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        """Run the operator and return its partitioned output."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """A one-operator-per-line plan rendering (children indented)."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 2))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description used by :meth:`explain`."""
+        return self.label
+
+    def children(self) -> list:
+        """Child operators, outermost first."""
+        return []

@@ -1,0 +1,206 @@
+"""Row-at-a-time operators: filter, project, map, limit."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.record import Record, Schema
+
+
+class Filter(PhysicalOperator):
+    """Keep records for which ``predicate(record)`` is truthy.
+
+    ``cost_units`` is the work charged per evaluation; the planner sets it
+    to the cost model's ``comparison`` for cheap predicates and
+    ``expensive_predicate`` for heavy UDFs such as ``ST_Contains``.
+    """
+
+    label = "filter"
+
+    def __init__(self, child: PhysicalOperator, predicate,
+                 cost_units: float = None, description: str = "") -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+        self.cost_units = cost_units
+        self.description = description
+
+    def describe(self) -> str:
+        return f"FILTER {self.description}".rstrip()
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        source = self.child.execute(ctx)
+        stage = ctx.metrics.stage(self.stage_name)
+        cost = self.cost_units if self.cost_units is not None else ctx.cost_model.comparison
+        out = []
+        for worker, partition in enumerate(source.partitions):
+            kept = [r for r in partition if self.predicate(r)]
+            stage.charge(worker, len(partition) * cost)
+            ctx.metrics.comparisons += len(partition)
+            out.append(kept)
+        stage.records_in = len(source)
+        stage.records_out = sum(len(p) for p in out)
+        return OperatorResult(out, source.schema)
+
+
+class Project(PhysicalOperator):
+    """Keep only the named fields (pure column pruning)."""
+
+    label = "project"
+
+    def __init__(self, child: PhysicalOperator, field_names) -> None:
+        super().__init__()
+        self.child = child
+        self.field_names = tuple(field_names)
+
+    def describe(self) -> str:
+        return f"PROJECT {', '.join(self.field_names)}"
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        source = self.child.execute(ctx)
+        schema = Schema(self.field_names)
+        indexes = [source.schema.index_of(name) for name in self.field_names]
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        out = []
+        for worker, partition in enumerate(source.partitions):
+            projected = [
+                Record(schema, (r.values[i] for i in indexes)) for r in partition
+            ]
+            stage.charge(worker, len(partition) * model.record_touch)
+            out.append(projected)
+        stage.records_in = stage.records_out = len(source)
+        return OperatorResult(out, schema)
+
+
+class MapColumns(PhysicalOperator):
+    """Compute output columns as functions of the input record.
+
+    ``columns`` is a list of ``(name, fn, cost_units)``; each ``fn`` takes
+    the input :class:`Record` and returns an already-boxed or plain value.
+    """
+
+    label = "map"
+
+    def __init__(self, child: PhysicalOperator, columns) -> None:
+        super().__init__()
+        self.child = child
+        self.columns = list(columns)
+
+    def describe(self) -> str:
+        return f"MAP {', '.join(name for name, _, _ in self.columns)}"
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        from repro.serde.values import box
+
+        source = self.child.execute(ctx)
+        schema = Schema(name for name, _, _ in self.columns)
+        stage = ctx.metrics.stage(self.stage_name)
+        row_cost = sum(cost for _, _, cost in self.columns)
+        out = []
+        for worker, partition in enumerate(source.partitions):
+            mapped = [
+                Record(schema, (box(fn(r)) for _, fn, _ in self.columns))
+                for r in partition
+            ]
+            stage.charge(worker, len(partition) * row_cost)
+            out.append(mapped)
+        stage.records_in = stage.records_out = len(source)
+        return OperatorResult(out, schema)
+
+
+class Limit(PhysicalOperator):
+    """Global LIMIT [OFFSET]: results are gathered to the coordinator,
+    ``offset`` rows skipped, then ``count`` rows kept."""
+
+    label = "limit"
+
+    def __init__(self, child: PhysicalOperator, count: int,
+                 offset: int = 0) -> None:
+        super().__init__()
+        if count < 0:
+            raise ValueError(f"LIMIT must be non-negative, got {count}")
+        if offset < 0:
+            raise ValueError(f"OFFSET must be non-negative, got {offset}")
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    def describe(self) -> str:
+        text = f"LIMIT {self.count}"
+        if self.offset:
+            text += f" OFFSET {self.offset}"
+        return text
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        source = self.child.execute(ctx)
+        stage = ctx.metrics.stage(self.stage_name)
+        taken = []
+        skipped = 0
+        for partition in source.partitions:
+            for record in partition:
+                if skipped < self.offset:
+                    skipped += 1
+                    continue
+                if len(taken) == self.count:
+                    break
+                taken.append(record)
+        stage.records_in = len(source)
+        stage.records_out = len(taken)
+        partitions = [[] for _ in range(ctx.num_partitions)]
+        partitions[0] = taken
+        return OperatorResult(partitions, source.schema)
+
+
+class Distinct(PhysicalOperator):
+    """Global DISTINCT: rows are shuffled by their full value so equal
+    rows co-locate, then deduplicated per worker."""
+
+    label = "distinct"
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__()
+        self.child = child
+
+    def describe(self) -> str:
+        return "DISTINCT"
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        from repro.engine.exchange import hash_exchange
+
+        source = self.child.execute(ctx)
+        shuffled = hash_exchange(
+            source.partitions, lambda record: record.values, ctx,
+            f"{self.stage_name}/shuffle",
+        )
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        out = []
+        for worker, partition in enumerate(shuffled):
+            seen = set()
+            rows = []
+            for record in partition:
+                if record.values in seen:
+                    continue
+                seen.add(record.values)
+                rows.append(record)
+            stage.charge(worker, len(partition) * model.hash_op)
+            out.append(rows)
+        stage.records_in = len(source)
+        stage.records_out = sum(len(p) for p in out)
+        return OperatorResult(out, source.schema)

@@ -1,0 +1,700 @@
+"""The FUDJ composite physical operator — the Figure 8 plan.
+
+The optimizer plugs this operator in whenever a join predicate is a
+registered FUDJ.  It drives the user's
+:class:`~repro.core.flexible_join.FlexibleJoin` through all three phases
+on top of the engine primitives:
+
+1. SUMMARIZE — per-worker ``local_aggregate`` over the join keys, a
+   coordinator ``global_aggregate`` merge, then ``divide`` to produce the
+   PPlan, which is broadcast.
+2. PARTITION — ``assign`` unnests each record to ``(bucket_id, record)``.
+3. COMBINE — single-joins (default ``match``) hash-exchange both sides on
+   bucket id and run a per-bucket hash join; multi-joins fall back to the
+   theta plan (spread left, broadcast right, ``match`` per bucket pair).
+   ``verify`` then checks each candidate pair, and the dedup strategy
+   suppresses duplicates (locally for avoidance, with one more exchange
+   for elimination).
+
+Every FUDJ callback goes through the translation layer (Figure 7) so
+engine values are unboxed to plain Python values first; built-in operator
+baselines bypass the layer (``translate=False``), which is exactly the
+overhead gap measured in paper §VII-B.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.dedup import DedupStrategy, strategy_for
+from repro.core.flexible_join import FlexibleJoin, JoinSide
+from repro.engine.context import ExecutionContext
+from repro.engine.exchange import broadcast_exchange, hash_exchange, random_exchange
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.errors import ExecutionError
+
+
+class FudjCallbackError(ExecutionError):
+    """A user FUDJ callback raised or returned something unusable.
+
+    Carries the join name and the phase (summarize/divide/assign/match/
+    verify/dedup) so a developer debugging a join library sees where the
+    engine was, not just a raw traceback from deep inside an operator.
+    """
+
+    def __init__(self, join_name: str, phase: str, original: Exception) -> None:
+        super().__init__(
+            f"FUDJ {join_name!r} failed in {phase}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.join_name = join_name
+        self.phase = phase
+        self.original = original
+
+
+def _guard(join, phase: str, fn, *args):
+    """Invoke a user callback, wrapping any failure with phase context."""
+    try:
+        return fn(*args)
+    except FudjCallbackError:
+        raise
+    except Exception as exc:
+        raise FudjCallbackError(join.name, phase, exc) from exc
+
+
+class FudjJoin(PhysicalOperator):
+    """Physical FUDJ join of two inputs.
+
+    Args:
+        left, right: child operators.
+        join: the FlexibleJoin instance (parameters already bound).
+        left_key, right_key: functions Record -> boxed join key.
+        dedup: optional dedup strategy override (Fig 12 experiments).
+        translate: route keys through the FUDJ translation layer.  The
+            built-in baselines set this False — their operators read
+            engine values natively.
+        self_join: summarize only one side and reuse the summary
+            (the §VI-C self-join optimization); requires symmetric
+            summaries.
+        verify_cost: work units per ``verify`` call; defaults to the cost
+            model's ``expensive_predicate`` since verify evaluates the
+            same predicate the on-top NLJ would.
+    """
+
+    label = "fudj-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 join: FlexibleJoin, left_key, right_key,
+                 dedup: DedupStrategy = None, translate: bool = True,
+                 self_join: bool = False, verify_cost: float = None,
+                 summarize_sample: float = 1.0) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.join = join
+        self.left_key = left_key
+        self.right_key = right_key
+        self.dedup = strategy_for(join, dedup)
+        self.translate = translate
+        self.self_join = self_join and join.symmetric_summaries()
+        self.verify_cost = verify_cost
+        if not 0.0 < summarize_sample <= 1.0:
+            raise ExecutionError(
+                f"summarize sample fraction must be in (0, 1], got "
+                f"{summarize_sample}"
+            )
+        #: SUMMARIZE over a deterministic sample (every k-th record per
+        #: worker).  Sound for any FUDJ whose assign clamps keys outside
+        #: the summarized domain (all shipped joins do): summaries steer
+        #: partitioning quality, verify decides membership.
+        self.summarize_sample = summarize_sample
+
+    def describe(self) -> str:
+        kind = "single-join" if self.join.uses_default_match() else "multi-join"
+        return (
+            f"FUDJ JOIN [{self.join.name}] ({kind}, dedup={self.dedup.name}, "
+            f"translate={self.translate})"
+        )
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+    # -- key extraction through the translation layer ---------------------------
+
+    def _external_key(self, record, key_fn, ctx: ExecutionContext):
+        boxed = key_fn(record)
+        if self.translate:
+            return ctx.translator.to_external(boxed)
+        from repro.serde.values import unbox
+
+        return unbox(boxed)
+
+    def _key_cost(self, ctx: ExecutionContext) -> float:
+        return ctx.cost_model.translation if self.translate else 0.0
+
+    # -- phase 1: SUMMARIZE ------------------------------------------------------
+
+    def _summarize_side(self, result: OperatorResult, key_fn, side: JoinSide,
+                        ctx: ExecutionContext):
+        stage = ctx.metrics.stage(f"{self.stage_name}/summarize-{side.value}")
+        model = ctx.cost_model
+        key_cost = self._key_cost(ctx)
+        step = max(1, round(1.0 / self.summarize_sample))
+        partials = []
+        for worker, partition in enumerate(result.partitions):
+            summary = None
+            sampled = partition if step == 1 else partition[::step]
+            for record in sampled:
+                key = self._external_key(record, key_fn, ctx)
+                summary = _guard(self.join, "local_aggregate",
+                                 self.join.local_aggregate, key, summary, side)
+            stage.charge(
+                worker, len(sampled) * (model.record_touch + key_cost)
+            )
+            if summary is not None:
+                partials.append(summary)
+        # Global merge at the coordinator; partial summaries are tiny, so
+        # the network charge is one small constant per worker.
+        stage.network_bytes += 64 * max(0, len(partials) - 1)
+        merged = None
+        for partial in partials:
+            if merged is None:
+                merged = partial
+            else:
+                merged = _guard(self.join, "global_aggregate",
+                                self.join.global_aggregate, merged, partial, side)
+            stage.charge(0, model.record_touch)
+        stage.records_in = len(result)
+        return merged
+
+    # -- phase 2: PARTITION ------------------------------------------------------
+
+    def _assign_side(self, result: OperatorResult, key_fn, side: JoinSide,
+                     pplan, ctx: ExecutionContext) -> list:
+        """Unnest each record into ``(bucket_id, external_key, record)``."""
+        stage = ctx.metrics.stage(f"{self.stage_name}/assign-{side.value}")
+        model = ctx.cost_model
+        key_cost = self._key_cost(ctx)
+        out = []
+        for worker, partition in enumerate(result.partitions):
+            rows = []
+            assignments = 0
+            for record in partition:
+                key = self._external_key(record, key_fn, ctx)
+                bucket_ids = _guard(self.join, "assign",
+                                    self.join.assign_list, key, pplan, side)
+                assignments += len(bucket_ids)
+                for bucket_id in bucket_ids:
+                    if not isinstance(bucket_id, int):
+                        raise FudjCallbackError(
+                            self.join.name, "assign",
+                            TypeError(
+                                f"bucket ids must be ints, got "
+                                f"{type(bucket_id).__name__}: {bucket_id!r}"
+                            ),
+                        )
+                    rows.append((bucket_id, key, record))
+            stage.charge(
+                worker,
+                len(partition) * (model.record_touch + key_cost)
+                + assignments * model.hash_op,
+            )
+            stage.records_in += len(partition)
+            stage.records_out += len(rows)
+            out.append(rows)
+        return out
+
+    # -- phase 3: COMBINE ---------------------------------------------------------
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        join = self.join
+
+        # SUMMARIZE (+ the self-join summarize-once optimization).
+        summary1 = self._summarize_side(left, self.left_key, JoinSide.LEFT, ctx)
+        if self.self_join:
+            summary2 = summary1
+        else:
+            summary2 = self._summarize_side(
+                right, self.right_key, JoinSide.RIGHT, ctx
+            )
+        pplan = _guard(join, "divide", join.divide, summary1, summary2)
+        # PPlan broadcast: one small object to every worker.
+        ctx.metrics.stage(f"{self.stage_name}/pplan-broadcast").network_bytes += (
+            256 * max(0, ctx.num_partitions - 1)
+        )
+
+        # PARTITION.
+        left_assigned = self._assign_side(left, self.left_key, JoinSide.LEFT, pplan, ctx)
+        right_assigned = self._assign_side(
+            right, self.right_key, JoinSide.RIGHT, pplan, ctx
+        )
+
+        out_schema = left.schema.concat(right.schema)
+        if join.uses_default_match():
+            partitions = self._combine_single_join(
+                left_assigned, right_assigned, pplan, out_schema, ctx
+            )
+        elif join.supports_partitioned_matching():
+            partitions = self._combine_partitioned_theta(
+                left_assigned, right_assigned, pplan, out_schema, ctx
+            )
+        else:
+            partitions = self._combine_multi_join(
+                left_assigned, right_assigned, pplan, out_schema, ctx
+            )
+
+        if self.dedup.requires_shuffle:
+            partitions = self._eliminate_duplicates(partitions, ctx)
+
+        result = OperatorResult(partitions, out_schema)
+        ctx.metrics.output_records = len(result)
+        return result
+
+    def _combine_single_join(self, left_assigned, right_assigned, pplan,
+                             out_schema, ctx: ExecutionContext) -> list:
+        """Hash-partition both sides on bucket id; join equal buckets."""
+        left_parts = _exchange_assigned(
+            left_assigned, ctx, f"{self.stage_name}/xleft"
+        )
+        right_parts = _exchange_assigned(
+            right_assigned, ctx, f"{self.stage_name}/xright"
+        )
+        stage = ctx.metrics.stage(f"{self.stage_name}/combine")
+        model = ctx.cost_model
+        v_cost = (
+            self.verify_cost if self.verify_cost is not None
+            else model.expensive_predicate
+        )
+        out = []
+        for worker in range(ctx.num_partitions):
+            table = defaultdict(list)
+            build_bytes = 0
+            for bucket_id, key, record in left_parts[worker]:
+                table[bucket_id].append((key, record))
+                build_bytes += 9 + record.serialized_size()
+            stage.charge(
+                worker,
+                len(left_parts[worker]) * model.hash_op
+                + model.spill_units(build_bytes),
+            )
+            rows = []
+            verify_units = 0.0
+            dedup_checks = 0
+            tag = self._tag_pair if self.dedup.requires_shuffle else None
+            if self.join.has_local_join():
+                rows, dedup_checks, verify_units = self._join_buckets_local(
+                    table, right_parts[worker], pplan, out_schema, ctx, tag
+                )
+            else:
+                # Both verify and dedup are pure predicates, so the engine
+                # runs the cheap duplicate check first and pays the
+                # expensive verification only for pairs this worker owns.
+                for bucket_id, key2, record2 in right_parts[worker]:
+                    for key1, record1 in table.get(bucket_id, ()):
+                        dedup_checks += 1
+                        if not self.dedup.keep_local(
+                            self.join, bucket_id, key1, bucket_id, key2, pplan
+                        ):
+                            continue
+                        matched = self.join.verify(key1, key2, pplan)
+                        verify_units += model.predicate_units(v_cost, matched)
+                        if not matched:
+                            continue
+                        joined = record1.concat(record2, out_schema)
+                        rows.append(
+                            tag(record1, record2, joined) if tag else joined
+                        )
+            stage.charge(
+                worker,
+                len(right_parts[worker]) * model.hash_op
+                + verify_units
+                + dedup_checks * model.comparison,
+            )
+            ctx.metrics.comparisons += dedup_checks
+            stage.records_out += len(rows)
+            out.append(rows)
+        return out
+
+    def _combine_multi_join(self, left_assigned, right_assigned, pplan,
+                            out_schema, ctx: ExecutionContext) -> list:
+        """Theta bucket matching: spread left, broadcast right, test
+        ``match`` per record pair (the paper's §VII-C fallback).
+
+        The engine has no partitioned theta-join operator (AsterixDB does
+        not either — the paper lists one as future work), so the bucket
+        matching degenerates to a nested loop over ``(bucket_id, record)``
+        tuples: every worker receives the whole broadcast side, tables it,
+        and evaluates ``match`` once per record pair.  The per-node
+        broadcast processing does not shrink as the cluster grows, which
+        is exactly why Fig 10b's interval join scales poorly.
+        """
+        left_parts = _spread_assigned(left_assigned, ctx, f"{self.stage_name}/spread")
+        right_parts = _broadcast_assigned(
+            right_assigned, ctx, f"{self.stage_name}/broadcast"
+        )
+        stage = ctx.metrics.stage(f"{self.stage_name}/combine")
+        model = ctx.cost_model
+        v_cost = (
+            self.verify_cost if self.verify_cost is not None
+            else model.expensive_predicate
+        )
+        out = []
+        for worker in range(ctx.num_partitions):
+            broadcast = right_parts[worker]
+            # Every worker materializes the whole broadcast side — per-node
+            # work that does not shrink as the cluster grows (and spills
+            # when it exceeds the worker's memory budget).
+            broadcast_bytes = sum(9 + r.serialized_size() for _, _, r in broadcast)
+            stage.charge(
+                worker,
+                (len(left_parts[worker]) + len(broadcast)) * model.hash_op
+                + model.spill_units(broadcast_bytes),
+            )
+            rows = []
+            match_checks = 0
+            verify_units = 0.0
+            dedup_checks = 0
+            match = self.join.match
+            for b1, key1, record1 in left_parts[worker]:
+                for b2, key2, record2 in broadcast:
+                    match_checks += 1
+                    if not match(b1, b2):
+                        continue
+                    dedup_checks += 1
+                    if not self.dedup.keep_local(
+                        self.join, b1, key1, b2, key2, pplan
+                    ):
+                        continue
+                    matched = self.join.verify(key1, key2, pplan)
+                    verify_units += model.predicate_units(v_cost, matched)
+                    if not matched:
+                        continue
+                    joined = record1.concat(record2, out_schema)
+                    rows.append(
+                        self._tag_pair(record1, record2, joined)
+                        if self.dedup.requires_shuffle else joined
+                    )
+            stage.charge(
+                worker,
+                match_checks * model.match_op
+                + verify_units
+                + dedup_checks * model.comparison,
+            )
+            ctx.metrics.comparisons += dedup_checks
+            stage.records_out += len(rows)
+            out.append(rows)
+        return out
+
+    def _eliminate_duplicates(self, partitions: list, ctx: ExecutionContext) -> list:
+        """Post-join distinct: shuffle (pair_id, record) entries by pair
+        identity, then drop repeated pairs on each worker (the Duplicate
+        Elimination stage)."""
+
+        class _Entry:
+            """Adapter so the generic exchange can size the payload."""
+
+            __slots__ = ("pair_id", "record")
+
+            def __init__(self, pair_id, record):
+                self.pair_id = pair_id
+                self.record = record
+
+            def serialized_size(self):
+                return 16 + self.record.serialized_size()
+
+        wrapped = [
+            [_Entry(pair_id, record) for pair_id, record in partition]
+            for partition in partitions
+        ]
+        shuffled = hash_exchange(
+            wrapped, lambda entry: entry.pair_id, ctx,
+            f"{self.stage_name}/dedup-shuffle",
+        )
+        stage = ctx.metrics.stage(f"{self.stage_name}/dedup")
+        model = ctx.cost_model
+        out = []
+        for worker, partition in enumerate(shuffled):
+            seen = set()
+            rows = []
+            for entry in partition:
+                if entry.pair_id in seen:
+                    continue
+                seen.add(entry.pair_id)
+                rows.append(entry.record)
+            stage.charge(worker, len(partition) * model.hash_op)
+            stage.records_in += len(partition)
+            stage.records_out += len(rows)
+            out.append(rows)
+        return out
+
+
+    @staticmethod
+    def _tag_pair(record1, record2, joined):
+        """Attach the pair identity for duplicate elimination.
+
+        Elimination must distinguish *the same input pair emitted from two
+        buckets* (a duplicate) from *two different pairs with equal field
+        values* (two legitimate results) — the original set-similarity
+        study dedups on record ids for the same reason.  Exchanges move
+        references, so the constituent record objects are stable
+        identities within one query.
+        """
+        return ((id(record1), id(record2)), joined)
+
+    def _join_buckets_local(self, left_table, right_entries, pplan,
+                            out_schema, ctx: ExecutionContext, tag=None):
+        """Single-join combine through the developer's ``local_join`` hook.
+
+        Buckets are paired as usual (equal bucket ids); within each bucket
+        pair the hook enumerates candidate index pairs, replacing the
+        all-pairs loop.  The hook's own work is charged per input key
+        (sort/setup) plus per emitted candidate.
+        """
+        model = ctx.cost_model
+        v_cost = (
+            self.verify_cost if self.verify_cost is not None
+            else model.expensive_predicate
+        )
+        right_table = defaultdict(list)
+        for bucket_id, key, record in right_entries:
+            right_table[bucket_id].append((key, record))
+        rows = []
+        candidates = 0
+        verify_units = 0.0
+        setup_keys = 0
+        for bucket_id, right_bucket in right_table.items():
+            left_bucket = left_table.get(bucket_id)
+            if not left_bucket:
+                continue
+            keys1 = [key for key, _ in left_bucket]
+            keys2 = [key for key, _ in right_bucket]
+            setup_keys += len(keys1) + len(keys2)
+            for i, j in self.join.local_join(keys1, keys2, pplan):
+                candidates += 1
+                key1, record1 = left_bucket[i]
+                key2, record2 = right_bucket[j]
+                if not self.dedup.keep_local(
+                    self.join, bucket_id, key1, bucket_id, key2, pplan
+                ):
+                    continue
+                matched = self.join.verify(key1, key2, pplan)
+                verify_units += model.predicate_units(v_cost, matched)
+                if not matched:
+                    continue
+                joined = record1.concat(record2, out_schema)
+                rows.append(tag(record1, record2, joined) if tag else joined)
+        verify_units += setup_keys * model.comparison
+        return rows, candidates, verify_units
+
+    def _combine_partitioned_theta(self, left_assigned, right_assigned,
+                                   pplan, out_schema,
+                                   ctx: ExecutionContext) -> list:
+        """The partitioned theta join the paper lists as future work.
+
+        ``partition_buckets`` maps every bucket onto match partitions such
+        that matching buckets share one, so both sides co-partition and
+        join locally — no broadcast, and the per-node work shrinks with
+        the cluster.  A pair may meet in several partitions; the engine
+        keeps it only in the smallest shared one.
+        """
+        num = ctx.num_partitions
+        left_parts = _route_partitioned(
+            left_assigned, self.join, num, pplan, ctx,
+            f"{self.stage_name}/route-left",
+        )
+        right_parts = _route_partitioned(
+            right_assigned, self.join, num, pplan, ctx,
+            f"{self.stage_name}/route-right",
+        )
+        stage = ctx.metrics.stage(f"{self.stage_name}/combine")
+        model = ctx.cost_model
+        v_cost = (
+            self.verify_cost if self.verify_cost is not None
+            else model.expensive_predicate
+        )
+        join = self.join
+        out = []
+        for worker in range(num):
+            local_right = right_parts[worker]
+            stage.charge(
+                worker,
+                (len(left_parts[worker]) + len(local_right)) * model.hash_op,
+            )
+            rows = []
+            match_checks = 0
+            verify_units = 0.0
+            dedup_checks = 0
+            part_cache = {}
+
+            def parts_of(bucket_id):
+                found = part_cache.get(bucket_id)
+                if found is None:
+                    found = set(join.partition_buckets(bucket_id, num, pplan))
+                    part_cache[bucket_id] = found
+                return found
+
+            local_left = left_parts[worker]
+            if join.has_local_join():
+                # A custom local algorithm (e.g. a sort-merge forward
+                # scan) enumerates candidates instead of the NLJ; the
+                # ownership check and verify still run per candidate.
+                keys1 = [entry[1] for entry in local_left]
+                keys2 = [entry[1] for entry in local_right]
+                match_checks = len(keys1) + len(keys2)  # sort/setup charge
+                for i, j in join.local_join(keys1, keys2, pplan):
+                    b1, key1, record1 = local_left[i]
+                    b2, key2, record2 = local_right[j]
+                    if not join.match(b1, b2):
+                        continue
+                    shared = parts_of(b1) & parts_of(b2)
+                    if min(shared) != worker:
+                        continue
+                    dedup_checks += 1
+                    if not self.dedup.keep_local(
+                        join, b1, key1, b2, key2, pplan
+                    ):
+                        continue
+                    matched = join.verify(key1, key2, pplan)
+                    verify_units += model.predicate_units(v_cost, matched)
+                    if not matched:
+                        continue
+                    joined = record1.concat(record2, out_schema)
+                    rows.append(
+                        self._tag_pair(record1, record2, joined)
+                        if self.dedup.requires_shuffle else joined
+                    )
+            else:
+                for b1, key1, record1 in local_left:
+                    for b2, key2, record2 in local_right:
+                        match_checks += 1
+                        if not join.match(b1, b2):
+                            continue
+                        shared = parts_of(b1) & parts_of(b2)
+                        if min(shared) != worker:
+                            continue  # another partition owns this pair
+                        dedup_checks += 1
+                        if not self.dedup.keep_local(
+                            join, b1, key1, b2, key2, pplan
+                        ):
+                            continue
+                        matched = join.verify(key1, key2, pplan)
+                        verify_units += model.predicate_units(v_cost, matched)
+                        if not matched:
+                            continue
+                        joined = record1.concat(record2, out_schema)
+                        rows.append(
+                            self._tag_pair(record1, record2, joined)
+                            if self.dedup.requires_shuffle else joined
+                        )
+            stage.charge(
+                worker,
+                match_checks * model.match_op
+                + verify_units
+                + dedup_checks * model.comparison,
+            )
+            ctx.metrics.comparisons += dedup_checks
+            stage.records_out += len(rows)
+            out.append(rows)
+        return out
+
+
+# -- assigned-entry exchanges -----------------------------------------------------
+#
+# Assigned entries are (bucket_id, key, record) triples.  They reuse the
+# record's wire size plus a small constant for the bucket id.
+
+
+def _entry_bytes(entries, ctx) -> int:
+    if not entries:
+        return 0
+    if ctx.measure_bytes or len(entries) <= 32:
+        return sum(9 + e[2].serialized_size() for e in entries)
+    sample = entries[:: max(1, len(entries) // 32)][:32]
+    avg = sum(9 + e[2].serialized_size() for e in sample) / len(sample)
+    return int(avg * len(entries))
+
+
+def _exchange_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
+    """Hash-exchange assigned entries on bucket id."""
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    out = [[] for _ in range(ctx.num_partitions)]
+    for worker, entries in enumerate(assigned):
+        moved = []
+        for entry in entries:
+            target = hash(entry[0]) % ctx.num_partitions
+            out[target].append(entry)
+            if target != worker:
+                moved.append(entry)
+            stage.charge(worker, model.hash_op)
+        moved_bytes = _entry_bytes(moved, ctx)
+        stage.network_bytes += moved_bytes
+        stage.charge(worker, moved_bytes * model.serde_byte)
+        stage.records_in += len(entries)
+    stage.records_out = sum(len(p) for p in out)
+    return out
+
+
+def _spread_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
+    """Round-robin assigned entries (theta-join left side)."""
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    out = [[] for _ in range(ctx.num_partitions)]
+    cursor = 0
+    for worker, entries in enumerate(assigned):
+        moved = []
+        for entry in entries:
+            target = cursor % ctx.num_partitions
+            cursor += 1
+            out[target].append(entry)
+            if target != worker:
+                moved.append(entry)
+            stage.charge(worker, model.record_touch)
+        moved_bytes = _entry_bytes(moved, ctx)
+        stage.network_bytes += moved_bytes
+        stage.charge(worker, moved_bytes * model.serde_byte)
+        stage.records_in += len(entries)
+    stage.records_out = sum(len(p) for p in out)
+    return out
+
+
+def _route_partitioned(assigned: list, join, num: int, pplan,
+                       ctx: ExecutionContext, stage_name: str) -> list:
+    """Send each assigned entry to the match partitions of its bucket."""
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    out = [[] for _ in range(num)]
+    for worker, entries in enumerate(assigned):
+        moved = []
+        for entry in entries:
+            targets = join.partition_buckets(entry[0], num, pplan)
+            for target in targets:
+                out[target].append(entry)
+                if target != worker:
+                    moved.append(entry)
+                stage.charge(worker, model.hash_op)
+        moved_bytes = _entry_bytes(moved, ctx)
+        stage.network_bytes += moved_bytes
+        stage.charge(worker, moved_bytes * model.serde_byte)
+        stage.records_in += len(entries)
+    stage.records_out = sum(len(p) for p in out)
+    return out
+
+
+def _broadcast_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
+    """Broadcast assigned entries to every worker (theta-join right side)."""
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    everything = [entry for entries in assigned for entry in entries]
+    total_bytes = _entry_bytes(everything, ctx)
+    stage.fabric_bytes += total_bytes * max(0, ctx.num_partitions - 1)
+    for worker in range(ctx.num_partitions):
+        stage.charge(
+            worker,
+            len(everything) * model.record_touch + total_bytes * model.serde_byte,
+        )
+    stage.records_in = len(everything)
+    stage.records_out = len(everything) * ctx.num_partitions
+    return [list(everything) for _ in range(ctx.num_partitions)]

@@ -1,0 +1,167 @@
+"""Binary join operators: hash join and block nested-loop join.
+
+The hash join is the engine's workhorse for equi-joins (and for FUDJ
+single-joins on bucket ids).  The block nested-loop join broadcasts its
+right input and evaluates an arbitrary predicate per pair — this is the
+paper's *on-top* baseline when the predicate is a scalar UDF, and the
+theta-join fallback for multi-join bucket matching.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.engine.context import ExecutionContext
+from repro.engine.exchange import broadcast_exchange, hash_exchange, random_exchange
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+
+
+class HashJoin(PhysicalOperator):
+    """Distributed hash equi-join.
+
+    Both inputs are hash-exchanged on their key; each worker builds a hash
+    table over its left fragment and probes with its right fragment.  An
+    optional ``residual`` predicate filters joined pairs (charged at
+    ``residual_cost`` units per evaluation).
+    """
+
+    label = "hash-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key, right_key, residual=None,
+                 residual_cost: float = None) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.residual_cost = residual_cost
+
+    def describe(self) -> str:
+        return "HASH JOIN" + (" (+residual)" if self.residual else "")
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        left_parts = hash_exchange(
+            left.partitions, self.left_key, ctx, f"{self.stage_name}/xleft"
+        )
+        right_parts = hash_exchange(
+            right.partitions, self.right_key, ctx, f"{self.stage_name}/xright"
+        )
+        schema = left.schema.concat(right.schema)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        res_cost = (
+            self.residual_cost if self.residual_cost is not None else model.comparison
+        )
+        out = []
+        for worker in range(ctx.num_partitions):
+            table = defaultdict(list)
+            build_bytes = 0
+            for record in left_parts[worker]:
+                table[self.left_key(record)].append(record)
+                build_bytes += record.serialized_size()
+            stage.charge(
+                worker,
+                len(left_parts[worker]) * model.hash_op
+                + model.spill_units(build_bytes),
+            )
+            rows = []
+            probes = 0
+            pairs = 0
+            for r_record in right_parts[worker]:
+                probes += 1
+                for l_record in table.get(self.right_key(r_record), ()):
+                    pairs += 1
+                    joined = l_record.concat(r_record, schema)
+                    if self.residual is not None and not self.residual(joined):
+                        continue
+                    rows.append(joined)
+            stage.charge(
+                worker,
+                probes * model.hash_op
+                + pairs * (model.record_touch + (res_cost if self.residual else 0)),
+            )
+            ctx.metrics.comparisons += pairs
+            out.append(rows)
+        stage.records_in = len(left) + len(right)
+        stage.records_out = sum(len(p) for p in out)
+        return OperatorResult(out, schema)
+
+
+class BlockNestedLoopJoin(PhysicalOperator):
+    """Broadcast nested-loop join with an arbitrary pair predicate.
+
+    The right input is broadcast to every worker; each worker loops its
+    left fragment against the full right input.  ``predicate_cost`` is the
+    per-pair charge — for the on-top baseline the planner passes the cost
+    model's ``expensive_predicate``, which is what makes NLJ plans pay the
+    price the paper describes.
+
+    ``spread_left`` randomly repartitions the left side first, which is
+    what AsterixDB does for theta joins when no partitioning key exists
+    (paper §VII-C).
+    """
+
+    label = "nl-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 predicate, predicate_cost: float = None,
+                 spread_left: bool = False) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.predicate_cost = predicate_cost
+        self.spread_left = spread_left
+
+    def describe(self) -> str:
+        return "NESTED LOOP JOIN (broadcast right)"
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        left_parts = left.partitions
+        if self.spread_left:
+            left_parts = random_exchange(
+                left_parts, ctx, f"{self.stage_name}/spread"
+            )
+        right_parts = broadcast_exchange(
+            right.partitions, ctx, f"{self.stage_name}/broadcast"
+        )
+        schema = left.schema.concat(right.schema)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        pair_cost = (
+            self.predicate_cost
+            if self.predicate_cost is not None
+            else model.expensive_predicate
+        )
+        out = []
+        for worker in range(ctx.num_partitions):
+            rows = []
+            broadcast = right_parts[worker]
+            pairs = 0
+            units = 0.0
+            for l_record in left_parts[worker]:
+                for r_record in broadcast:
+                    pairs += 1
+                    joined = l_record.concat(r_record, schema)
+                    matched = bool(self.predicate(joined))
+                    units += model.predicate_units(pair_cost, matched)
+                    if matched:
+                        rows.append(joined)
+            stage.charge(worker, units)
+            ctx.metrics.comparisons += pairs
+            out.append(rows)
+        stage.records_in = len(left) + len(right)
+        stage.records_out = sum(len(p) for p in out)
+        return OperatorResult(out, schema)

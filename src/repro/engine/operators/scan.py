@@ -1,0 +1,76 @@
+"""Leaf operators: dataset scans and literal value sources."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.record import Record, Schema
+
+
+class Scan(PhysicalOperator):
+    """Scan a stored dataset, qualifying fields with the query alias.
+
+    ``Parks p`` produces fields ``p.id``, ``p.boundary``, ... so that later
+    expressions can reference either side of a join unambiguously.
+    """
+
+    label = "scan"
+
+    def __init__(self, dataset_name: str, alias: str = None) -> None:
+        super().__init__()
+        self.dataset_name = dataset_name
+        self.alias = alias or dataset_name
+
+    def describe(self) -> str:
+        return f"SCAN {self.dataset_name} AS {self.alias}"
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        dataset = ctx.cluster.dataset(self.dataset_name)
+        schema = dataset.schema.qualify(self.alias)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        partitions = []
+        for worker, partition in enumerate(dataset.partitions):
+            out = [Record(schema, record.values) for record in partition]
+            stage.charge(worker, len(out) * model.record_touch)
+            partitions.append(out)
+        stage.records_in = stage.records_out = sum(len(p) for p in partitions)
+        # A dataset may have fewer/more partitions than the query context;
+        # normalise to the cluster's partition count.
+        partitions = _normalize(partitions, ctx.num_partitions)
+        return OperatorResult(partitions, schema)
+
+
+class Values(PhysicalOperator):
+    """A literal in-memory source (used by tests and the standalone path)."""
+
+    label = "values"
+
+    def __init__(self, schema: Schema, rows) -> None:
+        super().__init__()
+        self.schema = schema
+        self.rows = [
+            row if isinstance(row, Record) else Record.from_dict(schema, row)
+            for row in rows
+        ]
+
+    def describe(self) -> str:
+        return f"VALUES ({len(self.rows)} rows)"
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        partitions = [[] for _ in range(ctx.num_partitions)]
+        for i, record in enumerate(self.rows):
+            partitions[i % ctx.num_partitions].append(record)
+        stage = ctx.metrics.stage(self.stage_name)
+        stage.records_in = stage.records_out = len(self.rows)
+        return OperatorResult(partitions, self.schema)
+
+
+def _normalize(partitions: list, target: int) -> list:
+    """Redistribute partition lists to exactly ``target`` partitions."""
+    if len(partitions) == target:
+        return partitions
+    out = [[] for _ in range(target)]
+    for i, partition in enumerate(partitions):
+        out[i % target].extend(partition)
+    return out

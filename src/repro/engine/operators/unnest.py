@@ -1,0 +1,74 @@
+"""The UNNEST operator (paper Fig 8's PARTITION-phase building block).
+
+Expands a computed list per input record into one output record per
+element.  The FUDJ composite operator performs its bucket-id unnesting
+inline for speed, but the standalone operator is part of the engine's
+public surface: the paper's Figure 8 plan is expressible operator by
+operator, and custom plans (tests, future rules) can reuse it.
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.record import Record, Schema
+from repro.errors import ExecutionError
+from repro.serde.values import box
+
+
+class Unnest(PhysicalOperator):
+    """Emit one record per element of ``list_fn(record)``.
+
+    Output schema: the input fields plus ``output_field`` holding the
+    element.  Records whose list is empty produce no output (inner unnest
+    semantics, which is what bucket assignment needs: an unassignable
+    record joins nothing).
+    """
+
+    label = "unnest"
+
+    def __init__(self, child: PhysicalOperator, list_fn, output_field: str,
+                 cost_units: float = None) -> None:
+        super().__init__()
+        self.child = child
+        self.list_fn = list_fn
+        self.output_field = output_field
+        self.cost_units = cost_units
+
+    def describe(self) -> str:
+        return f"UNNEST -> {self.output_field}"
+
+    def children(self) -> list:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+        source = self.child.execute(ctx)
+        if self.output_field in source.schema:
+            raise ExecutionError(
+                f"unnest output field {self.output_field!r} already exists"
+            )
+        schema = Schema(source.schema.fields + (self.output_field,))
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        per_row = (
+            self.cost_units if self.cost_units is not None else model.record_touch
+        )
+        out = []
+        for worker, partition in enumerate(source.partitions):
+            rows = []
+            emitted = 0
+            for record in partition:
+                elements = self.list_fn(record)
+                if elements is None:
+                    continue
+                for element in elements:
+                    rows.append(Record(schema, record.values + (box(element),)))
+                    emitted += 1
+            stage.charge(
+                worker,
+                len(partition) * per_row + emitted * model.record_touch,
+            )
+            stage.records_in += len(partition)
+            stage.records_out += len(rows)
+            out.append(rows)
+        return OperatorResult(out, schema)

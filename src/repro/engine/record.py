@@ -1,0 +1,136 @@
+"""Records and schemas.
+
+A :class:`Record` is an immutable row: a tuple of boxed engine values plus
+a shared :class:`Schema` mapping field names to positions.  After a join,
+field names are qualified with the dataset alias (``p.id``, ``w.location``)
+so expressions can reference either side unambiguously.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.serde.serializer import serialize_value
+from repro.serde.values import AValue, box
+
+
+class Schema:
+    """An ordered, immutable list of field names with O(1) lookup."""
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields) -> None:
+        self.fields = tuple(fields)
+        if len(set(self.fields)) != len(self.fields):
+            raise ExecutionError(f"duplicate field names in schema: {self.fields}")
+        self._index = {name: i for i, name in enumerate(self.fields)}
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self.fields)})"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name``; raises ExecutionError when absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no field {name!r} in schema {self.fields}"
+            ) from None
+
+    def qualify(self, alias: str) -> "Schema":
+        """Return a schema with every field prefixed by ``alias.``."""
+        return Schema(f"{alias}.{name}" for name in self.fields)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation of two records (join output)."""
+        return Schema(self.fields + other.fields)
+
+
+class Record:
+    """An immutable row of boxed values conforming to a schema."""
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Schema, values) -> None:
+        self.schema = schema
+        self.values = tuple(values)
+        if len(self.values) != len(schema):
+            raise ExecutionError(
+                f"record arity {len(self.values)} != schema arity {len(schema)}"
+            )
+
+    @staticmethod
+    def from_dict(schema: Schema, mapping) -> "Record":
+        """Build a record from a plain mapping, boxing each value."""
+        return Record(schema, (box(mapping[name]) for name in schema.fields))
+
+    def __getitem__(self, name: str) -> AValue:
+        return self.values[self.schema.index_of(name)]
+
+    def get(self, name: str, default=None):
+        """Value of ``name`` or ``default`` when the field is absent."""
+        if name in self.schema:
+            return self.values[self.schema.index_of(name)]
+        return default
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Record)
+            and self.schema == other.schema
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self.schema.fields, self.values)
+        )
+        return f"Record({pairs})"
+
+    def to_dict(self) -> dict:
+        """Plain-Python dict view (unboxes every field)."""
+        from repro.serde.values import unbox
+
+        return {
+            name: unbox(value)
+            for name, value in zip(self.schema.fields, self.values)
+        }
+
+    def concat(self, other: "Record", schema: Schema = None) -> "Record":
+        """Concatenate two records (join output).  ``schema`` may be passed
+        to avoid rebuilding it per pair in tight join loops."""
+        if schema is None:
+            schema = self.schema.concat(other.schema)
+        return Record(schema, self.values + other.values)
+
+    def serialized_size(self) -> int:
+        """Wire size of this record in bytes.
+
+        Opaque intra-engine values (partial aggregate states, PPlan
+        handles) are not wire-serializable; they are counted as a fixed
+        16-byte blob, which only affects the simulated network charge of
+        the (small) partial-state shuffles.
+        """
+        from repro.errors import SerdeError
+
+        buf = bytearray()
+        opaque = 0
+        for value in self.values:
+            try:
+                serialize_value(value, buf)
+            except SerdeError:
+                opaque += 1
+        return len(buf) + 16 * opaque

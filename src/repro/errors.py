@@ -1,0 +1,45 @@
+"""Exception hierarchy for the FUDJ reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one base class.  The engine distinguishes between user
+errors (bad SQL, unknown dataset, bad FUDJ implementation) and internal
+invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed.
+
+    Attributes:
+        position: character offset of the offending token, if known.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """A catalog object (type, dataset, join) is missing or duplicated."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be built or optimized."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at runtime."""
+
+
+class SerdeError(ReproError):
+    """A value could not be (de)serialized or translated."""
+
+
+class JoinLibraryError(ReproError):
+    """A FUDJ library is malformed (bad class path, wrong interface, ...)."""

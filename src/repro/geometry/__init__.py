@@ -1,0 +1,31 @@
+"""Geometry substrate: points, rectangles, polygons, and spatial predicates.
+
+The paper's Spatial FUDJ (based on PBSM) needs minimum bounding rectangles,
+a uniform grid that tiles space, overlap tests, and a plane-sweep local
+join.  This package provides all of that in pure Python, with no external
+GIS dependency.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import (
+    contains,
+    distance,
+    intersects,
+    mbr_of,
+)
+from repro.geometry.grid import UniformGrid
+from repro.geometry.plane_sweep import plane_sweep_pairs
+
+__all__ = [
+    "Point",
+    "Rectangle",
+    "Polygon",
+    "UniformGrid",
+    "contains",
+    "distance",
+    "intersects",
+    "mbr_of",
+    "plane_sweep_pairs",
+]

@@ -1,0 +1,54 @@
+"""Plane-sweep rectangle join, the local optimization of paper §VII-F.
+
+Given two lists of ``(mbr, payload)`` entries, :func:`plane_sweep_pairs`
+yields every pair whose MBRs intersect, in time close to
+``O((n + m) log(n + m) + k)`` instead of the ``O(n * m)`` of a nested loop.
+The advanced built-in spatial operator sorts the geometries inside each
+tile by min-x and sweeps, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+
+def plane_sweep_pairs(left, right, counter=None):
+    """Yield ``(l_payload, r_payload)`` for every intersecting MBR pair.
+
+    Args:
+        left: iterable of ``(Rectangle, payload)``.
+        right: iterable of ``(Rectangle, payload)``.
+        counter: optional callable invoked once per MBR comparison, used by
+            the benchmark harness to charge simulated CPU cost.
+
+    The sweep advances along the x-axis.  For the entry with the smaller
+    min-x we scan the other list forward while x-intervals overlap and test
+    the y-intervals; entries are consumed in sorted order so each pair is
+    examined at most once.
+    """
+    a = sorted(left, key=lambda e: e[0].x1)
+    b = sorted(right, key=lambda e: e[0].x1)
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        ra = a[i][0]
+        rb = b[j][0]
+        if ra.x1 <= rb.x1:
+            # Sweep `b` forward while it can still overlap `ra` in x.
+            k = j
+            while k < nb and b[k][0].x1 <= ra.x2:
+                if counter is not None:
+                    counter()
+                rk = b[k][0]
+                if ra.y1 <= rk.y2 and ra.y2 >= rk.y1:
+                    yield a[i][1], b[k][1]
+                k += 1
+            i += 1
+        else:
+            k = i
+            while k < na and a[k][0].x1 <= rb.x2:
+                if counter is not None:
+                    counter()
+                rk = a[k][0]
+                if rb.y1 <= rk.y2 and rb.y2 >= rk.y1:
+                    yield a[k][1], b[j][1]
+                k += 1
+            j += 1

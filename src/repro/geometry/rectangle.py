@@ -1,0 +1,123 @@
+"""Axis-aligned rectangles (minimum bounding rectangles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A closed, axis-aligned rectangle ``[x1, x2] x [y1, y2]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed; a point's
+    MBR is one of those.  Construction validates that the bounds are
+    ordered.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise ValueError(
+                f"invalid rectangle: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    # -- basic measures ----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def center(self) -> Point:
+        """Return the center point of the rectangle."""
+        return Point((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def mbr(self) -> "Rectangle":
+        """A rectangle is its own MBR."""
+        return self
+
+    # -- predicates ---------------------------------------------------------
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """True if the two (closed) rectangles share at least one point."""
+        return (
+            self.x1 <= other.x2
+            and self.x2 >= other.x1
+            and self.y1 <= other.y2
+            and self.y2 >= other.y1
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary of this rectangle."""
+        return self.x1 <= p.x <= self.x2 and self.y1 <= p.y <= self.y2
+
+    def contains_rectangle(self, other: "Rectangle") -> bool:
+        """True if ``other`` is completely inside this rectangle."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    # -- constructive operations ---------------------------------------------
+
+    def union(self, other: "Rectangle") -> "Rectangle":
+        """Smallest rectangle covering both rectangles (the MBR merge)."""
+        return Rectangle(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def intersection(self, other: "Rectangle") -> "Rectangle | None":
+        """The overlap region, or ``None`` when the rectangles are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rectangle(
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+            min(self.x2, other.x2),
+            min(self.y2, other.y2),
+        )
+
+    def expand(self, margin: float) -> "Rectangle":
+        """Grow the rectangle by ``margin`` on every side."""
+        return Rectangle(
+            self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin
+        )
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x1, y1, x2, y2)``, useful for serialization."""
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    @staticmethod
+    def from_points(points) -> "Rectangle":
+        """MBR of a non-empty iterable of :class:`Point`."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot compute the MBR of zero points") from None
+        x1 = x2 = first.x
+        y1 = y2 = first.y
+        for p in it:
+            x1 = min(x1, p.x)
+            y1 = min(y1, p.y)
+            x2 = max(x2, p.x)
+            y2 = max(y2, p.y)
+        return Rectangle(x1, y1, x2, y2)

@@ -1,0 +1,5 @@
+"""Interval substrate for the Overlapping-Interval FUDJ (OIPJoin-style)."""
+
+from repro.interval.interval import Interval, intervals_overlap
+
+__all__ = ["Interval", "intervals_overlap"]

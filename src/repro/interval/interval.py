@@ -1,0 +1,60 @@
+"""Half-open time intervals and their overlap predicate.
+
+The paper treats intervals as ``(start, end)`` pairs (converted internally
+to long arrays, §VI-B) with the overlap condition
+``i1.start < i2.end and i1.end > i2.start``.  We keep the same convention:
+intervals are half-open-ish in the sense that merely touching endpoints do
+NOT overlap, matching the paper's ``verify`` pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """An immutable time interval with ``start <= end``.
+
+    Ordering is by ``(start, end)`` so lists of intervals can be sorted for
+    merge-style algorithms.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end before start: ({self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Paper's overlap predicate: strict on both sides."""
+        return self.start < other.end and self.end > other.start
+
+    def contains_point(self, t: float) -> bool:
+        """True if ``t`` lies in the closed interval."""
+        return self.start <= t <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping sub-interval, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Interval(max(self.start, other.start), min(self.end, other.end))
+
+    def shift(self, delta: float) -> "Interval":
+        """Return this interval translated by ``delta``."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(start, end)`` — the long-array form of paper §VI-B."""
+        return (self.start, self.end)
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Module-level alias of :meth:`Interval.overlaps` for the function
+    registry (the SQL ``interval_overlapping`` builtin)."""
+    return a.overlaps(b)

@@ -1,0 +1,38 @@
+"""FUDJ join libraries: the paper's three example implementations.
+
+Each class here is what a *user* of FUDJ writes — a few small functions,
+no engine knowledge.  Table II counts the lines of these files against the
+hand-written built-in operators in :mod:`repro.builtin`.
+"""
+
+from repro.joins.spatial import (
+    ReferencePointSpatialJoin,
+    SpatialContainsJoin,
+    SpatialJoin,
+)
+from repro.joins.interval import IntervalJoin
+from repro.joins.text_similarity import TextSimilarityJoin
+from repro.joins.band import NumericBandJoin
+from repro.joins.trajectory import TrajectoryProximityJoin
+from repro.joins.extensions import (
+    AutoTuneSpatialJoin,
+    LengthFilteredTextJoin,
+    PartitionedIntervalJoin,
+    PlaneSweepSpatialJoin,
+    SortMergeIntervalJoin,
+)
+
+__all__ = [
+    "SpatialJoin",
+    "SpatialContainsJoin",
+    "ReferencePointSpatialJoin",
+    "PlaneSweepSpatialJoin",
+    "AutoTuneSpatialJoin",
+    "IntervalJoin",
+    "PartitionedIntervalJoin",
+    "SortMergeIntervalJoin",
+    "LengthFilteredTextJoin",
+    "TextSimilarityJoin",
+    "NumericBandJoin",
+    "TrajectoryProximityJoin",
+]

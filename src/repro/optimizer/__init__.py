@@ -1,0 +1,19 @@
+"""Query optimization: binding, rewrite rules, and physical planning.
+
+The pipeline is ``bind`` (resolve names against the catalog and function
+registry) → ``optimize`` (predicate pushdown, join detection — including
+the FUDJ rewrite of paper §VI-C) → ``plan`` (lower the logical plan to
+physical operators).
+"""
+
+from repro.optimizer.binder import BoundQuery, bind_select
+from repro.optimizer.rules import ExecutionMode, optimize
+from repro.optimizer.planner import plan_physical
+
+__all__ = [
+    "BoundQuery",
+    "bind_select",
+    "ExecutionMode",
+    "optimize",
+    "plan_physical",
+]

@@ -1,0 +1,335 @@
+"""Rewrite rules: predicate pushdown and join detection.
+
+The central rule is the FUDJ rewrite (paper §VI-C): a conjunct of the
+WHERE clause whose function name matches a registered join — either a
+direct call ``fudj_name(k1, k2, params...)`` or a thresholded form
+``similarity_jaccard(k1, k2) >= t`` — replaces the Cartesian product with
+an :class:`LFudjJoin`.  With the rewrite disabled (*on-top* mode) the same
+query degenerates to the nested-loop plan with the scalar predicate, which
+is the paper's baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import PlanError
+from repro.optimizer.binder import BoundQuery
+from repro.query.ast import (
+    Column,
+    Comparison,
+    Expr,
+    FunctionCall,
+    Literal,
+    combine_conjuncts,
+    conjuncts_of,
+)
+from repro.query.logical import (
+    LCartesian,
+    LDistinct,
+    LPrune,
+    LEquiJoin,
+    LFilter,
+    LFudjJoin,
+    LGroupBy,
+    LLimit,
+    LNLJoin,
+    LOrderBy,
+    LProject,
+    LScalarAgg,
+    LScan,
+    LogicalNode,
+)
+
+
+class ExecutionMode(enum.Enum):
+    """How join predicates are executed (the paper's three approaches)."""
+
+    FUDJ = "fudj"        # FUDJ rewrite + translation layer
+    BUILTIN = "builtin"  # hand-written built-in operators, no translation
+    ONTOP = "ontop"      # scalar UDF inside a nested-loop join
+
+
+def optimize(query: BoundQuery, joins, mode: ExecutionMode = ExecutionMode.FUDJ,
+             output_order: list = None) -> LogicalNode:
+    """Build the full optimized logical plan for a bound query."""
+    required = _required_fields(query)
+    conjuncts = conjuncts_of(query.where)
+    root, remaining = _build_joins(query.root, conjuncts, joins, mode,
+                                   required)
+    if remaining:
+        if mode is not ExecutionMode.ONTOP:
+            unbound = [c for c in remaining if _contains_unbound(c)]
+            if unbound:
+                raise PlanError(
+                    "FUDJ predicate could not be placed on a join: "
+                    + str(unbound[0])
+                )
+        root = LFilter(root, combine_conjuncts(remaining))
+
+    order_keys = _normalize_order_keys(query)
+
+    if query.has_aggregates:
+        if query.group_keys:
+            root = LGroupBy(root, query.group_keys, query.aggregates)
+            if query.having is not None:
+                root = LFilter(root, query.having)
+            names = _output_order(query, output_order)
+            root = LProject(root, [(name, Column(name)) for name in names])
+        else:
+            root = LScalarAgg(root, query.aggregates)
+            if query.having is not None:
+                root = LFilter(root, query.having)
+    else:
+        expr_keys = [k for k, _ in order_keys if not isinstance(k, str)]
+        if expr_keys:
+            # Sort on raw expressions before projection drops their inputs.
+            root = LOrderBy(root, order_keys)
+            order_keys = []
+        if query.select_items:
+            root = LProject(root, query.select_items)
+
+    if query.distinct:
+        root = LDistinct(root)
+    if order_keys:
+        root = LOrderBy(root, order_keys)
+    if query.limit is not None:
+        root = LLimit(root, query.limit, query.offset or 0)
+    return root
+
+
+def _output_order(query: BoundQuery, output_order: list) -> list:
+    if output_order:
+        return output_order
+    return [name for name, _ in query.select_items] + [
+        agg.output_name for agg in query.aggregates
+    ]
+
+
+def _normalize_order_keys(query: BoundQuery) -> list:
+    """Convert order keys that match select items to output-name form."""
+    keys = []
+    for key, descending in query.order_by:
+        if not isinstance(key, str):
+            for name, expr in query.select_items:
+                if expr == key:
+                    key = name
+                    break
+        keys.append((key, descending))
+    return keys
+
+
+def _required_fields(query: BoundQuery) -> set:
+    """Every base-table field any part of the query reads — the
+    projection-pushdown footprint."""
+    fields = set()
+    if query.where is not None:
+        fields |= query.where.referenced_fields()
+    for _, expr in query.select_items:
+        fields |= expr.referenced_fields()
+    for agg in query.aggregates:
+        if agg.argument is not None:
+            fields |= agg.argument.referenced_fields()
+    for _, expr in query.group_keys:
+        fields |= expr.referenced_fields()
+    for key, _ in query.order_by:
+        if not isinstance(key, str):
+            fields |= key.referenced_fields()
+    if query.having is not None:
+        fields |= query.having.referenced_fields()
+    return fields
+
+
+# -- join construction with pushdown -------------------------------------------------
+
+
+def _aliases_of(expr: Expr) -> set:
+    return {name.split(".", 1)[0] for name in expr.referenced_fields()}
+
+
+def _contains_unbound(expr: Expr) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.fn is None:
+            return True
+        return any(_contains_unbound(arg) for arg in expr.args)
+    for attr in ("left", "right", "child"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr) and _contains_unbound(child):
+            return True
+    return False
+
+
+def _tree_aliases(node: LogicalNode) -> set:
+    if isinstance(node, LScan):
+        return {node.alias}
+    out = set()
+    for child in node.children():
+        out |= _tree_aliases(child)
+    return out
+
+
+def _build_joins(node: LogicalNode, conjuncts: list, joins,
+                 mode: ExecutionMode, required: set = None):
+    """Recursively place conjuncts; returns (plan, leftover conjuncts).
+
+    ``required`` (when given) drives projection pushdown: each scan is
+    pruned to the fields the query actually reads before anything flows
+    upward into filters, shuffles, and joins.
+    """
+    if isinstance(node, LScan):
+        mine = [c for c in conjuncts if _aliases_of(c) == {node.alias}]
+        rest = [c for c in conjuncts if c not in mine]
+        plan: LogicalNode = node
+        if required is not None:
+            prefix = node.alias + "."
+            keep = tuple(sorted(f for f in required if f.startswith(prefix)))
+            if keep:
+                plan = LPrune(plan, keep)
+            # A scan none of whose fields are read (COUNT(1) FROM t) stays
+            # unpruned: records must still exist to be counted.
+        if mine:
+            plan = LFilter(plan, combine_conjuncts(mine))
+        return plan, rest
+
+    if isinstance(node, LCartesian):
+        left_plan, rest = _build_joins(node.left, conjuncts, joins, mode,
+                                       required)
+        right_plan, rest = _build_joins(node.right, rest, joins, mode,
+                                        required)
+        left_aliases = _tree_aliases(node.left)
+        right_aliases = _tree_aliases(node.right)
+        both = left_aliases | right_aliases
+        joinable = [
+            c for c in rest
+            if _aliases_of(c) <= both
+            and _aliases_of(c) & left_aliases
+            and _aliases_of(c) & right_aliases
+        ]
+        leftover = [c for c in rest if c not in joinable]
+        plan = _make_join(
+            left_plan, right_plan, left_aliases, right_aliases,
+            joinable, joins, mode, node,
+        )
+        return plan, leftover
+
+    raise PlanError(f"unexpected FROM node: {node!r}")
+
+
+def _make_join(left, right, left_aliases, right_aliases, joinable, joins,
+               mode: ExecutionMode, raw_node) -> LogicalNode:
+    if mode in (ExecutionMode.FUDJ, ExecutionMode.BUILTIN) and joins is not None:
+        detected = _detect_fudj(joinable, left_aliases, right_aliases, joins)
+        if detected is not None:
+            conjunct, name, left_key, right_key, params, swapped = detected
+            residual_parts = [c for c in joinable if c is not conjunct]
+            for part in residual_parts:
+                if _contains_unbound(part):
+                    raise PlanError(
+                        "a join can use one FUDJ predicate; additional "
+                        f"registered-join calls cannot run as residual "
+                        f"filters: {part}"
+                    )
+            residual = combine_conjuncts(residual_parts)
+            self_join = _is_self_join(raw_node)
+            node = LFudjJoin(
+                left, right, name, left_key, right_key, tuple(params),
+                residual, self_join,
+            )
+            return node
+
+    equi = _detect_equality(joinable, left_aliases, right_aliases)
+    if equi is not None:
+        conjunct, left_expr, right_expr = equi
+        residual = combine_conjuncts([c for c in joinable if c is not conjunct])
+        return LEquiJoin(left, right, left_expr, right_expr, residual)
+
+    return LNLJoin(left, right, combine_conjuncts(joinable))
+
+
+def _is_self_join(node: LCartesian) -> bool:
+    """Summarize-once applies only when both inputs are bare scans of the
+    same dataset (identical inputs => identical summaries)."""
+    return (
+        isinstance(node.left, LScan)
+        and isinstance(node.right, LScan)
+        and node.left.dataset == node.right.dataset
+    )
+
+
+def _detect_fudj(conjuncts, left_aliases, right_aliases, joins):
+    """Find the first conjunct that is a registered FUDJ predicate.
+
+    Recognized shapes:
+
+    - ``join_name(k1, k2, literal...)``
+    - ``join_name(k1, k2) >= literal`` / ``> literal`` (and mirrored),
+      mapping the threshold to the join's parameter.
+    """
+    for conjunct in conjuncts:
+        found = _match_fudj_conjunct(conjunct, left_aliases, right_aliases, joins)
+        if found is not None:
+            return (conjunct,) + found
+    return None
+
+
+def _match_fudj_conjunct(conjunct, left_aliases, right_aliases, joins):
+    if isinstance(conjunct, FunctionCall) and conjunct.name in joins:
+        if len(conjunct.args) < 2:
+            return None
+        key1, key2 = conjunct.args[0], conjunct.args[1]
+        extra = conjunct.args[2:]
+        params = []
+        for arg in extra:
+            if not isinstance(arg, Literal):
+                return None
+            params.append(arg.value)
+        oriented = _orient(key1, key2, left_aliases, right_aliases)
+        if oriented is None:
+            return None
+        left_key, right_key, swapped = oriented
+        return (conjunct.name, left_key, right_key, params, swapped)
+
+    if isinstance(conjunct, Comparison) and conjunct.op in (">=", ">", "<=", "<"):
+        call, literal = conjunct.left, conjunct.right
+        op = conjunct.op
+        if isinstance(call, Literal) and isinstance(literal, FunctionCall):
+            call, literal = literal, call
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        if (
+            isinstance(call, FunctionCall)
+            and call.name in joins
+            and isinstance(literal, Literal)
+            and op in (">=", ">")
+            and len(call.args) == 2
+        ):
+            oriented = _orient(call.args[0], call.args[1], left_aliases,
+                               right_aliases)
+            if oriented is None:
+                return None
+            left_key, right_key, swapped = oriented
+            return (call.name, left_key, right_key, [literal.value], swapped)
+    return None
+
+
+def _orient(key1: Expr, key2: Expr, left_aliases, right_aliases):
+    """Match key expressions to join sides; returns (lkey, rkey, swapped)."""
+    a1, a2 = _aliases_of(key1), _aliases_of(key2)
+    if a1 and a2 and a1 <= left_aliases and a2 <= right_aliases:
+        return key1, key2, False
+    if a1 and a2 and a1 <= right_aliases and a2 <= left_aliases:
+        return key2, key1, True
+    return None
+
+
+def _detect_equality(conjuncts, left_aliases, right_aliases):
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        oriented = _orient(conjunct.left, conjunct.right, left_aliases,
+                           right_aliases)
+        if oriented is None:
+            continue
+        left_expr, right_expr, _ = oriented
+        if not _contains_unbound(conjunct):
+            return conjunct, left_expr, right_expr
+    return None

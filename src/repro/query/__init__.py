@@ -1,0 +1,31 @@
+"""Query layer: expressions, scalar functions, logical plans, SQL parser."""
+
+from repro.query.ast import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    Expr,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+)
+from repro.query.functions import FunctionRegistry, default_function_registry
+from repro.query.parser import Parser, parse_statement
+
+__all__ = [
+    "Expr",
+    "Column",
+    "Literal",
+    "FunctionCall",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Arithmetic",
+    "FunctionRegistry",
+    "default_function_registry",
+    "Parser",
+    "parse_statement",
+]

@@ -1,0 +1,269 @@
+"""Expression AST.
+
+Expressions evaluate against a :class:`~repro.engine.record.Record` whose
+fields carry qualified names (``p.id``).  Evaluation returns plain Python
+values (columns unbox); the planner wraps compiled expressions back into
+boxed values where operators need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.serde.values import unbox
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, record):
+        """Plain-Python value of this expression for ``record``."""
+        raise NotImplementedError
+
+    def referenced_fields(self) -> set:
+        """Qualified field names this expression reads."""
+        return set()
+
+    def cost_units(self, model) -> float:
+        """Work units one evaluation costs under ``model``."""
+        return model.comparison
+
+    def conjuncts(self) -> list:
+        """Flatten top-level ANDs into a conjunct list."""
+        return [self]
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A field reference; ``name`` is already qualified (``p.id``)."""
+
+    name: str
+
+    def evaluate(self, record):
+        return unbox(record[self.name])
+
+    def referenced_fields(self) -> set:
+        return {self.name}
+
+    def cost_units(self, model) -> float:
+        return model.record_touch
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+
+    value: object
+
+    def evaluate(self, record):
+        return self.value
+
+    def cost_units(self, model) -> float:
+        return 0.0
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class FunctionCall(Expr):
+    """A scalar function call, bound to its implementation at build time.
+
+    ``expensive`` marks heavy predicates (``ST_Contains`` on polygons,
+    Jaccard over token sets); the planner charges those at the cost
+    model's ``expensive_predicate`` rate, which is what makes the on-top
+    NLJ baseline pay realistically.
+    """
+
+    def __init__(self, name: str, args, fn=None, expensive: bool = False) -> None:
+        self.name = name.lower()
+        self.args = list(args)
+        self.fn = fn
+        self.expensive = expensive
+        #: Set by the parser for COUNT(DISTINCT expr).
+        self.distinct = False
+
+    def evaluate(self, record):
+        if self.fn is None:
+            raise PlanError(f"unbound function call: {self.name}")
+        return self.fn(*(arg.evaluate(record) for arg in self.args))
+
+    def referenced_fields(self) -> set:
+        fields = set()
+        for arg in self.args:
+            fields |= arg.referenced_fields()
+        return fields
+
+    def cost_units(self, model) -> float:
+        base = model.expensive_predicate if self.expensive else model.comparison
+        return base + sum(arg.cost_units(model) for arg in self.args)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionCall)
+            and self.name == other.name
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self.args)))
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison; NULL on either side yields False (SQL-ish)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PlanError(f"unknown comparison operator: {self.op}")
+
+    def evaluate(self, record):
+        lhs = self.left.evaluate(record)
+        rhs = self.right.evaluate(record)
+        if lhs is None or rhs is None:
+            return False
+        return _COMPARATORS[self.op](lhs, rhs)
+
+    def referenced_fields(self) -> set:
+        return self.left.referenced_fields() | self.right.referenced_fields()
+
+    def cost_units(self, model) -> float:
+        return (
+            model.comparison
+            + self.left.cost_units(model)
+            + self.right.cost_units(model)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, record):
+        return bool(self.left.evaluate(record)) and bool(self.right.evaluate(record))
+
+    def referenced_fields(self) -> set:
+        return self.left.referenced_fields() | self.right.referenced_fields()
+
+    def cost_units(self, model) -> float:
+        return self.left.cost_units(model) + self.right.cost_units(model)
+
+    def conjuncts(self) -> list:
+        return self.left.conjuncts() + self.right.conjuncts()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, record):
+        return bool(self.left.evaluate(record)) or bool(self.right.evaluate(record))
+
+    def referenced_fields(self) -> set:
+        return self.left.referenced_fields() | self.right.referenced_fields()
+
+    def cost_units(self, model) -> float:
+        return self.left.cost_units(model) + self.right.cost_units(model)
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    child: Expr
+
+    def evaluate(self, record):
+        return not bool(self.child.evaluate(record))
+
+    def referenced_fields(self) -> set:
+        return self.child.referenced_fields()
+
+    def cost_units(self, model) -> float:
+        return self.child.cost_units(model)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.child})"
+
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic; NULL-propagating."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise PlanError(f"unknown arithmetic operator: {self.op}")
+
+    def evaluate(self, record):
+        lhs = self.left.evaluate(record)
+        rhs = self.right.evaluate(record)
+        if lhs is None or rhs is None:
+            return None
+        return _ARITHMETIC[self.op](lhs, rhs)
+
+    def referenced_fields(self) -> set:
+        return self.left.referenced_fields() | self.right.referenced_fields()
+
+    def cost_units(self, model) -> float:
+        return (
+            model.comparison
+            + self.left.cost_units(model)
+            + self.right.cost_units(model)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def conjuncts_of(expr: Expr) -> list:
+    """Top-level conjuncts of ``expr`` (the whole expr when not an AND)."""
+    return expr.conjuncts() if expr is not None else []
+
+
+def combine_conjuncts(parts: list) -> Expr:
+    """Rebuild a single expression from a conjunct list (None when empty)."""
+    result = None
+    for part in parts:
+        result = part if result is None else And(result, part)
+    return result

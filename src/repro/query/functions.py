@@ -1,0 +1,144 @@
+"""The scalar built-in function registry.
+
+These are the predicates and constructors that appear in the paper's
+queries (``ST_Contains``, ``ST_MakePoint``, ``similarity_jaccard``,
+``word_tokens``, ``overlapping_interval``, ``interval``, ``parse_date``).
+They run as ordinary scalar functions — which is exactly what the *on-top*
+baseline does inside a nested-loop join.  Functions flagged ``expensive``
+are charged at the cost model's heavy-predicate rate.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.geometry import Point, Rectangle, contains, distance, intersects
+from repro.interval import Interval
+from repro.text import jaccard_similarity, tokenize, word_tokens
+from repro.trajectory import hausdorff_distance, min_distance
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """One registered scalar function."""
+
+    name: str
+    fn: object
+    arity: int  # -1 means variadic
+    expensive: bool = False
+
+
+class FunctionRegistry:
+    """Name -> FunctionDef map with registration and lookup."""
+
+    def __init__(self) -> None:
+        self._functions = {}
+
+    def register(self, name: str, fn, arity: int, expensive: bool = False) -> None:
+        key = name.lower()
+        if key in self._functions:
+            raise PlanError(f"function already registered: {name}")
+        self._functions[key] = FunctionDef(key, fn, arity, expensive)
+
+    def register_udf(self, name: str, fn, arity: int = -1,
+                     expensive: bool = True) -> None:
+        """Register a user-defined scalar function (UDFs default to
+        expensive — the engine cannot see inside them)."""
+        self.register(name, fn, arity, expensive)
+
+    def lookup(self, name: str) -> FunctionDef:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise PlanError(f"unknown function: {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def names(self) -> list:
+        return sorted(self._functions)
+
+
+# -- implementations ----------------------------------------------------------------
+
+
+def _st_makepoint(x, y) -> Point:
+    return Point(float(x), float(y))
+
+
+def _st_contains(outer, inner) -> bool:
+    return contains(outer, inner)
+
+
+def _st_intersects(a, b) -> bool:
+    return intersects(a, b)
+
+
+def _st_distance(a, b) -> float:
+    return distance(a, b)
+
+
+def _st_rectangle(x1, y1, x2, y2) -> Rectangle:
+    return Rectangle(float(x1), float(y1), float(x2), float(y2))
+
+
+def _similarity_jaccard(a, b) -> float:
+    # Accepts raw strings (tokenized here) or pre-tokenized collections.
+    sa = tokenize(a) if isinstance(a, str) else a
+    sb = tokenize(b) if isinstance(b, str) else b
+    return jaccard_similarity(sa, sb)
+
+
+def _interval(start, end) -> Interval:
+    return Interval(float(start), float(end))
+
+
+def _overlapping_interval(a: Interval, b: Interval) -> bool:
+    return a.overlaps(b)
+
+
+def _parse_date(text: str, fmt: str = "M/D/Y") -> float:
+    """Parse a date into epoch seconds.
+
+    Supports the paper's ``M/D/Y`` style plus ISO ``Y-M-D``; times are
+    epoch floats everywhere else in the engine, so dates become floats
+    here too.
+    """
+    text = text.strip()
+    if fmt.upper() in ("M/D/Y", "MM/DD/YYYY"):
+        month, day, year = (int(part) for part in text.split("/"))
+    elif fmt.upper() in ("Y-M-D", "YYYY-MM-DD"):
+        year, month, day = (int(part) for part in text.split("-"))
+    else:
+        raise PlanError(f"unsupported date format: {fmt}")
+    moment = _dt.datetime(year, month, day, tzinfo=_dt.timezone.utc)
+    return moment.timestamp()
+
+
+def default_function_registry() -> FunctionRegistry:
+    """The registry every new database starts with."""
+    registry = FunctionRegistry()
+    registry.register("st_makepoint", _st_makepoint, 2)
+    registry.register("st_make_point", _st_makepoint, 2)
+    registry.register("st_contains", _st_contains, 2, expensive=True)
+    registry.register("st_intersects", _st_intersects, 2, expensive=True)
+    registry.register("st_distance", _st_distance, 2, expensive=True)
+    registry.register("st_rectangle", _st_rectangle, 4)
+    registry.register("similarity_jaccard", _similarity_jaccard, 2, expensive=True)
+    registry.register("jaccard_similarity", _similarity_jaccard, 2, expensive=True)
+    registry.register("word_tokens", word_tokens, 1)
+    registry.register("interval", _interval, 2)
+    registry.register("overlapping_interval", _overlapping_interval, 2, expensive=True)
+    registry.register("interval_overlapping", _overlapping_interval, 2, expensive=True)
+    registry.register("trajectory_min_distance", min_distance, 2,
+                      expensive=True)
+    registry.register("hausdorff_distance", hausdorff_distance, 2,
+                      expensive=True)
+    registry.register("parse_date", _parse_date, -1)
+    registry.register("abs", abs, 1)
+    registry.register("length", len, 1)
+    registry.register("lower", lambda s: s.lower(), 1)
+    registry.register("upper", lambda s: s.upper(), 1)
+    return registry

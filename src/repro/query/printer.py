@@ -1,0 +1,59 @@
+"""Render expression ASTs back to SQL text.
+
+Used by error messages and plan explanations, and property-tested against
+the parser: ``parse(print(e)) == e`` for every expression the grammar can
+produce.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.query.ast import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    Expr,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+)
+
+
+def sql_of(expr: Expr) -> str:
+    """SQL text for an expression (parenthesized conservatively)."""
+    if isinstance(expr, Column):
+        return expr.name
+    if isinstance(expr, Literal):
+        return _literal(expr.value)
+    if isinstance(expr, FunctionCall):
+        return f"{expr.name}({', '.join(sql_of(arg) for arg in expr.args)})"
+    if isinstance(expr, Comparison):
+        return f"({sql_of(expr.left)} {expr.op} {sql_of(expr.right)})"
+    if isinstance(expr, Arithmetic):
+        return f"({sql_of(expr.left)} {expr.op} {sql_of(expr.right)})"
+    if isinstance(expr, And):
+        return f"({sql_of(expr.left)} AND {sql_of(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({sql_of(expr.left)} OR {sql_of(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(NOT {sql_of(expr.child)})"
+    raise PlanError(f"cannot print expression: {expr!r}")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        # repr keeps round-trip precision; ensure a decimal point so the
+        # parser sees a float again.
+        text = repr(value)
+        return text if ("." in text or "e" in text) else text + ".0"
+    return str(value)

@@ -1,0 +1,149 @@
+"""Boxed engine value types (the AsterixDB ``AInt64``-style internals).
+
+Inside the engine every field value is an :class:`AValue` subclass carrying
+a type tag.  The FUDJ boundary unboxes these into plain Python objects
+(ints, floats, strings, geometry/interval objects) and boxes results back;
+that conversion is the translation-layer cost the paper measures in
+§VII-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SerdeError
+from repro.geometry import Point, Polygon, Rectangle
+from repro.interval import Interval
+from repro.trajectory import Trajectory
+
+
+class AValue:
+    """Base class of all boxed engine values."""
+
+    __slots__ = ()
+    type_tag = "any"
+
+    def to_python(self):
+        """Return the plain Python value this box wraps."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ANull(AValue):
+    """The SQL NULL value."""
+
+    type_tag = "null"
+
+    def to_python(self):
+        return None
+
+
+@dataclass(frozen=True)
+class ABoolean(AValue):
+    type_tag = "boolean"
+    value: bool
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class AInt64(AValue):
+    type_tag = "int64"
+    value: int
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class ADouble(AValue):
+    type_tag = "double"
+    value: float
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class AString(AValue):
+    type_tag = "string"
+    value: str
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class AGeometry(AValue):
+    """A boxed geometry (Point, Rectangle, or Polygon)."""
+
+    type_tag = "geometry"
+    value: object
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class AInterval(AValue):
+    """A boxed interval; crosses the FUDJ boundary as an Interval object
+    (the paper's "long array" of start/end, §VI-B, with structure kept)."""
+
+    type_tag = "interval"
+    value: Interval
+
+    def to_python(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class AList(AValue):
+    """A boxed ordered list of boxed values."""
+
+    type_tag = "list"
+    items: tuple
+
+    def to_python(self):
+        return [item.to_python() for item in self.items]
+
+
+NULL = ANull()
+TRUE = ABoolean(True)
+FALSE = ABoolean(False)
+
+
+def box(value) -> AValue:
+    """Box a plain Python value into the matching engine value type."""
+    if value is None:
+        return NULL
+    if isinstance(value, AValue):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, int):
+        return AInt64(value)
+    if isinstance(value, float):
+        return ADouble(value)
+    if isinstance(value, str):
+        return AString(value)
+    if isinstance(value, (Point, Rectangle, Polygon, Trajectory)):
+        return AGeometry(value)
+    if isinstance(value, Interval):
+        return AInterval(value)
+    if isinstance(value, (list, tuple)):
+        return AList(tuple(box(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return AList(tuple(box(v) for v in sorted(value)))
+    raise SerdeError(f"cannot box value of type {type(value).__name__}: {value!r}")
+
+
+def unbox(value):
+    """Unbox an engine value to plain Python; passes plain values through.
+
+    Accepting plain values makes operator code robust when literals are
+    injected mid-plan without an explicit boxing step.
+    """
+    if isinstance(value, AValue):
+        return value.to_python()
+    return value

@@ -1,0 +1,187 @@
+"""Database persistence: save/load through the engine's wire format.
+
+``save_database`` writes a directory layout::
+
+    <path>/catalog.json          types, datasets, joins, cluster config
+    <path>/data/<dataset>.bin    length-prefixed serialized records,
+                                 one stream per dataset (partition
+                                 boundaries recorded in the catalog)
+
+Records are encoded with the same binary format the exchange operators
+use (:mod:`repro.serde.serializer`), so persistence doubles as an
+end-to-end serde exercise: everything that can be stored can cross the
+simulated network, and vice versa.
+
+Join libraries are saved by *reference* (class path + defaults) — code is
+not serialized; loading re-imports the classes, exactly like AsterixDB
+re-linking an installed library after a restart.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from repro.core.library import load_join_class
+from repro.database import Database
+from repro.engine.record import Record, Schema
+from repro.errors import ReproError, SerdeError
+from repro.serde.serializer import deserialize_value, serialize_value
+
+_MAGIC = b"FUDJDB1\n"
+_U32 = struct.Struct(">I")
+
+
+class StorageError(ReproError):
+    """The on-disk layout is missing, corrupt, or incompatible."""
+
+
+def save_database(db: Database, path) -> None:
+    """Persist ``db`` (schema, data, join registrations) under ``path``.
+
+    The directory is created; existing files of a previous save are
+    overwritten.  Built-in operator factories (plain callables) are not
+    persisted — re-run ``install_builtin_joins`` after loading.
+    """
+    root = Path(path)
+    (root / "data").mkdir(parents=True, exist_ok=True)
+
+    datasets = {}
+    for name in db.catalog.dataset_names():
+        info = db.catalog.dataset_info(name)
+        dataset = db.cluster.dataset(name)
+        partition_sizes = [len(p) for p in dataset.partitions]
+        datasets[name] = {
+            "type": info.type_name,
+            "primary_key": info.primary_key,
+            "partition_sizes": partition_sizes,
+        }
+        _write_records(root / "data" / f"{name}.bin", dataset)
+
+    types = {
+        type_name: list(db.catalog.type_info(type_name).fields)
+        for type_name in sorted(
+            {info["type"] for info in datasets.values()}
+            | set(_all_type_names(db))
+        )
+    }
+
+    joins = []
+    for join_name in db.joins.names():
+        signature = db.joins.signature(join_name)
+        entry = db.joins._entries[join_name]
+        class_path = signature.class_path
+        if not class_path and entry.join_class is not None:
+            cls = entry.join_class
+            class_path = f"{cls.__module__}.{cls.__qualname__}"
+        joins.append({
+            "name": signature.name,
+            "param_types": list(signature.param_types),
+            "class_path": class_path,
+            "library": signature.library,
+            "defaults": list(entry.defaults),
+        })
+
+    catalog = {
+        "format": "fudj-db",
+        "version": 1,
+        "cluster": {
+            "num_partitions": db.cluster.num_partitions,
+            "cores": db.cluster.cores,
+        },
+        "types": types,
+        "datasets": datasets,
+        "joins": joins,
+    }
+    (root / "catalog.json").write_text(json.dumps(catalog, indent=2))
+
+
+def load_database(path) -> Database:
+    """Recreate a database previously written by :func:`save_database`."""
+    root = Path(path)
+    catalog_path = root / "catalog.json"
+    if not catalog_path.exists():
+        raise StorageError(f"no catalog.json under {root}")
+    try:
+        catalog = json.loads(catalog_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt catalog.json: {exc}") from exc
+    if catalog.get("format") != "fudj-db" or catalog.get("version") != 1:
+        raise StorageError(
+            f"unsupported format/version: {catalog.get('format')!r} "
+            f"v{catalog.get('version')!r}"
+        )
+
+    cluster_conf = catalog["cluster"]
+    db = Database(num_partitions=cluster_conf["num_partitions"],
+                  cores=cluster_conf["cores"])
+    for type_name, fields in catalog["types"].items():
+        db.create_type(type_name, [tuple(field) for field in fields])
+    for name, meta in catalog["datasets"].items():
+        db.create_dataset(name, meta["type"], meta["primary_key"])
+        _read_records(root / "data" / f"{name}.bin", db.cluster.dataset(name),
+                      meta["partition_sizes"])
+    for join in catalog["joins"]:
+        join_class = load_join_class(join["class_path"])
+        db.create_join(
+            join["name"], join_class,
+            param_types=tuple(join["param_types"]),
+            library=join["library"], defaults=tuple(join["defaults"]),
+        )
+    return db
+
+
+def _all_type_names(db: Database):
+    return list(db.catalog._types)
+
+
+def _write_records(path: Path, dataset) -> None:
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        for partition in dataset.partitions:
+            for record in partition:
+                buf = bytearray()
+                for value in record.values:
+                    serialize_value(value, buf)
+                handle.write(_U32.pack(len(buf)))
+                handle.write(buf)
+
+
+def _read_records(path: Path, dataset, partition_sizes) -> None:
+    if not path.exists():
+        raise StorageError(f"missing data file: {path}")
+    data = path.read_bytes()
+    if not data.startswith(_MAGIC):
+        raise StorageError(f"bad magic in {path}")
+    offset = len(_MAGIC)
+    schema: Schema = dataset.schema
+    arity = len(schema)
+    if len(partition_sizes) != dataset.num_partitions:
+        raise StorageError(
+            f"{path}: saved with {len(partition_sizes)} partitions, "
+            f"cluster has {dataset.num_partitions}"
+        )
+    for partition_index, size in enumerate(partition_sizes):
+        for _ in range(size):
+            if offset + 4 > len(data):
+                raise StorageError(f"truncated data file: {path}")
+            (length,) = _U32.unpack_from(data, offset)
+            offset += 4
+            end = offset + length
+            if end > len(data):
+                raise StorageError(f"truncated record in {path}")
+            values = []
+            cursor = offset
+            try:
+                for _ in range(arity):
+                    value, cursor = deserialize_value(data, cursor)
+                    values.append(value)
+            except SerdeError as exc:
+                raise StorageError(f"corrupt record in {path}: {exc}") from exc
+            if cursor != end:
+                raise StorageError(f"record length mismatch in {path}")
+            dataset.partitions[partition_index].append(Record(schema, values))
+            offset = end
+    if offset != len(data):
+        raise StorageError(f"trailing bytes in {path}")

@@ -1,0 +1,6 @@
+"""Text substrate: tokenization, Jaccard similarity, prefix filtering."""
+
+from repro.text.tokenizer import tokenize, word_tokens
+from repro.text.similarity import jaccard_similarity, prefix_length
+
+__all__ = ["tokenize", "word_tokens", "jaccard_similarity", "prefix_length"]

@@ -1,0 +1,51 @@
+"""Set-similarity measures and the prefix-filter bound.
+
+``jaccard_similarity`` is the paper's verification predicate;
+``prefix_length`` is the bound from the prefix-filtering literature used by
+the Text-Similarity FUDJ ``assign``: two sets with Jaccard similarity >= t
+must share at least one token among the first ``p`` tokens of each set in
+a global token ordering, where ``p = l - ceil(t * l) + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def jaccard_similarity(a, b) -> float:
+    """Jaccard similarity ``|a & b| / |a | b|`` of two token collections.
+
+    Accepts any iterables; empty-vs-empty is defined as 1.0 (identical),
+    empty-vs-non-empty as 0.0.
+    """
+    sa = a if isinstance(a, (set, frozenset)) else set(a)
+    sb = b if isinstance(b, (set, frozenset)) else set(b)
+    if not sa and not sb:
+        return 1.0
+    inter = len(sa & sb)
+    union = len(sa) + len(sb) - inter
+    return inter / union
+
+
+def prefix_length(set_size: int, threshold: float) -> int:
+    """Prefix-filter length for a set of ``set_size`` tokens.
+
+    ``p = l - ceil(t * l) + 1`` (paper §V-B); clamped to ``[0, l]`` so the
+    degenerate cases (empty sets, threshold 0 or 1) stay well-defined.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"similarity threshold out of [0, 1]: {threshold}")
+    if set_size <= 0:
+        return 0
+    p = set_size - math.ceil(threshold * set_size) + 1
+    return max(0, min(set_size, p))
+
+
+def overlap_lower_bound(size_a: int, size_b: int, threshold: float) -> int:
+    """Minimum token overlap implied by Jaccard >= threshold.
+
+    Used by length filtering: ``|a & b| >= ceil(t/(1+t) * (|a| + |b|))``.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"similarity threshold out of [0, 1]: {threshold}")
+    return math.ceil(threshold / (1.0 + threshold) * (size_a + size_b))

@@ -1,0 +1,27 @@
+"""Word tokenization used by the Text-Similarity FUDJ.
+
+The paper's ``tokenize(text)`` / SQL ``word_tokens`` returns the set of
+words in a text.  Set semantics matter: Jaccard similarity and the prefix
+filter both operate on token *sets*, so duplicates within one record are
+dropped here once rather than by every caller.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> frozenset:
+    """Lower-cased distinct word tokens of ``text`` as a frozenset."""
+    return frozenset(_WORD_RE.findall(text.lower()))
+
+
+def word_tokens(text: str) -> list:
+    """Deterministically ordered token list (SQL ``word_tokens`` builtin).
+
+    Sorted so that repeated calls on equal texts produce equal lists; the
+    similarity functions accept either lists or sets.
+    """
+    return sorted(tokenize(text))

@@ -1,0 +1,17 @@
+"""Trajectory substrate: polylines with proximity/similarity measures.
+
+Trajectory joins are the largest family in the paper's related work
+(refs [2, 3, 7, 8], [34]-[38]); this package provides the substrate a
+trajectory FUDJ needs — a polyline type with an MBR, minimum inter-
+trajectory distance, and discrete Hausdorff distance.
+"""
+
+from repro.trajectory.trajectory import (
+    Trajectory,
+    hausdorff_distance,
+    min_distance,
+    segment_distance,
+)
+
+__all__ = ["Trajectory", "min_distance", "hausdorff_distance",
+           "segment_distance"]

@@ -1,0 +1,90 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart([("fudj", 1.0), ("ontop", 4.0)])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("fudj")
+        # on-top's bar is ~4x longer.
+        assert lines[1].count("█") > 3 * max(1, lines[0].count("█"))
+
+    def test_values_shown(self):
+        chart = bar_chart([("a", 0.125)])
+        assert "0.125" in chart
+
+    def test_title(self):
+        chart = bar_chart([("a", 1)], title="Figure 9")
+        assert chart.splitlines()[0] == "Figure 9"
+
+    def test_log_scale_compresses_decades(self):
+        linear = bar_chart([("a", 1.0), ("b", 1000.0)], width=40)
+        logged = bar_chart([("a", 1.0), ("b", 1000.0)], width=40, log=True)
+        a_linear = linear.splitlines()[0].count("█")
+        a_logged = logged.splitlines()[0].count("█")
+        assert a_logged > a_linear  # small value visible on log scale
+
+    def test_zero_values(self):
+        chart = bar_chart([("empty", 0.0), ("full", 2.0)])
+        assert "empty" in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("bad", -1.0)])
+
+    def test_empty_rows(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("a", 1), ("longer", 1)])
+        bars = [line.index("|") for line in chart.splitlines()]
+        assert len(set(bars)) == 1
+
+
+class TestSeriesChart:
+    def test_dimensions(self):
+        chart = series_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]},
+                             height=8, width=30)
+        body = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(body) == 8
+        assert all(len(l) == 31 for l in body)
+
+    def test_markers_and_legend(self):
+        chart = series_chart([1, 2], {"alpha": [1, 2], "beta": [2, 1]})
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_monotone_series_rises(self):
+        chart = series_chart([1, 2, 3, 4], {"up": [1, 2, 3, 4]},
+                             height=6, width=20)
+        body = [l for l in chart.splitlines() if l.startswith("|")]
+        first_row = next(i for i, l in enumerate(body) if "o" in l)
+        last_row = max(i for i, l in enumerate(body) if "o" in l)
+        # Higher values render nearer the top (smaller row index).
+        assert first_row < last_row
+
+    def test_log_y(self):
+        chart = series_chart([1, 2], {"s": [1.0, 1000.0]}, log_y=True)
+        assert "(log y)" in chart
+
+    def test_none_values_skipped(self):
+        chart = series_chart([1, 2, 3], {"s": [1.0, None, 3.0]})
+        body = [l for l in chart.splitlines() if l.startswith("|")]
+        assert sum(line.count("o") for line in body) == 2
+
+    def test_empty(self):
+        assert series_chart([], {}) == "(no data)"
+
+    def test_axis_ranges_shown(self):
+        chart = series_chart([10, 20], {"s": [5, 6]}, x_label="cores",
+                             y_label="seconds")
+        assert "cores" in chart
+        assert "seconds" in chart
+        assert "10" in chart and "20" in chart

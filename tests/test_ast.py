@@ -1,0 +1,122 @@
+"""Unit tests for expression evaluation."""
+
+import pytest
+
+from repro.engine import Record, Schema
+from repro.engine.costs import DEFAULT_COST_MODEL as MODEL
+from repro.errors import PlanError
+from repro.query.ast import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+    combine_conjuncts,
+    conjuncts_of,
+)
+
+SCHEMA = Schema(["a.x", "a.y", "a.s"])
+RECORD = Record.from_dict(SCHEMA, {"a.x": 3, "a.y": None, "a.s": "hi"})
+
+
+class TestLeaves:
+    def test_column_unboxes(self):
+        assert Column("a.x").evaluate(RECORD) == 3
+        assert Column("a.s").evaluate(RECORD) == "hi"
+
+    def test_column_null(self):
+        assert Column("a.y").evaluate(RECORD) is None
+
+    def test_literal(self):
+        assert Literal(42).evaluate(RECORD) == 42
+
+    def test_referenced_fields(self):
+        assert Column("a.x").referenced_fields() == {"a.x"}
+        assert Literal(1).referenced_fields() == set()
+
+
+class TestComparison:
+    def test_operators(self):
+        cases = [
+            ("=", 3, True), ("<>", 3, False), ("<", 4, True),
+            ("<=", 3, True), (">", 2, True), (">=", 4, False),
+        ]
+        for op, rhs, expected in cases:
+            expr = Comparison(op, Column("a.x"), Literal(rhs))
+            assert expr.evaluate(RECORD) is expected, (op, rhs)
+
+    def test_null_compares_false(self):
+        assert Comparison("=", Column("a.y"), Literal(1)).evaluate(RECORD) is False
+        assert Comparison("<>", Column("a.y"), Literal(1)).evaluate(RECORD) is False
+
+    def test_unknown_operator(self):
+        with pytest.raises(PlanError):
+            Comparison("~", Column("a.x"), Literal(1))
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        true = Comparison("=", Literal(1), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert And(true, true).evaluate(RECORD)
+        assert not And(true, false).evaluate(RECORD)
+        assert Or(false, true).evaluate(RECORD)
+        assert not Or(false, false).evaluate(RECORD)
+        assert Not(false).evaluate(RECORD)
+
+    def test_conjuncts_flattening(self):
+        a = Comparison("=", Column("a.x"), Literal(1))
+        b = Comparison(">", Column("a.x"), Literal(0))
+        c = Comparison("<", Column("a.x"), Literal(9))
+        expr = And(And(a, b), c)
+        assert conjuncts_of(expr) == [a, b, c]
+
+    def test_or_not_flattened(self):
+        a = Comparison("=", Column("a.x"), Literal(1))
+        expr = Or(a, a)
+        assert conjuncts_of(expr) == [expr]
+
+    def test_combine_conjuncts(self):
+        a = Comparison("=", Column("a.x"), Literal(3))
+        combined = combine_conjuncts([a, a])
+        assert isinstance(combined, And)
+        assert combined.evaluate(RECORD)
+
+    def test_combine_empty_is_none(self):
+        assert combine_conjuncts([]) is None
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert Arithmetic("+", Column("a.x"), Literal(2)).evaluate(RECORD) == 5
+        assert Arithmetic("-", Column("a.x"), Literal(1)).evaluate(RECORD) == 2
+        assert Arithmetic("*", Column("a.x"), Literal(4)).evaluate(RECORD) == 12
+        assert Arithmetic("/", Column("a.x"), Literal(2)).evaluate(RECORD) == 1.5
+
+    def test_null_propagates(self):
+        assert Arithmetic("+", Column("a.y"), Literal(1)).evaluate(RECORD) is None
+
+
+class TestFunctionCall:
+    def test_bound_call(self):
+        call = FunctionCall("double", [Column("a.x")], fn=lambda v: v * 2)
+        assert call.evaluate(RECORD) == 6
+
+    def test_unbound_call_raises(self):
+        with pytest.raises(PlanError):
+            FunctionCall("mystery", []).evaluate(RECORD)
+
+    def test_expensive_costs_more(self):
+        cheap = FunctionCall("f", [Column("a.x")], fn=len, expensive=False)
+        pricey = FunctionCall("f", [Column("a.x")], fn=len, expensive=True)
+        assert pricey.cost_units(MODEL) > cheap.cost_units(MODEL)
+
+    def test_equality_is_structural(self):
+        a = FunctionCall("f", [Column("a.x")])
+        b = FunctionCall("f", [Column("a.x")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FunctionCall("g", [Column("a.x")])

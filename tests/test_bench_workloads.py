@@ -1,0 +1,71 @@
+"""Tests for the benchmark workload builders."""
+
+import pytest
+
+from repro.bench import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+
+
+class TestSpatialDatabase:
+    def test_sizes(self):
+        db = spatial_database(30, 120, partitions=3, seed=1)
+        assert len(db.cluster.dataset("Parks")) == 30
+        assert len(db.cluster.dataset("Wildfires")) == 120
+        assert db.cluster.num_partitions == 3
+
+    def test_joins_installed_for_all_modes(self):
+        db = spatial_database(10, 20, partitions=2, seed=1)
+        assert "st_contains" in db.joins
+        assert "st_contains" in db.builtin_factories
+
+    def test_deterministic_given_seed(self):
+        a = spatial_database(15, 40, partitions=2, seed=9)
+        b = spatial_database(15, 40, partitions=2, seed=9)
+        assert (sorted(map(repr, a.cluster.dataset("Parks").scan()))
+                == sorted(map(repr, b.cluster.dataset("Parks").scan())))
+
+    def test_query_runs_in_all_modes(self):
+        db = spatial_database(20, 80, partitions=2, grid_n=6, seed=2)
+        rows = {mode: db.execute(SPATIAL_SQL, mode=mode).rows
+                for mode in ("fudj", "builtin", "ontop")}
+        assert rows["fudj"] == rows["builtin"] == rows["ontop"]
+
+    def test_variant_flags(self):
+        refpoint = spatial_database(10, 20, partitions=2, seed=1,
+                                    reference_point=True)
+        from repro.joins import ReferencePointSpatialJoin
+
+        join = refpoint.joins.instantiate("st_contains", ())
+        assert isinstance(join, ReferencePointSpatialJoin)
+
+
+class TestIntervalDatabase:
+    def test_query_runs(self):
+        db = interval_database(60, partitions=2, num_buckets=8, seed=3)
+        result = db.execute(INTERVAL_SQL)
+        assert result.rows[0]["c"] >= 0
+
+    def test_vendors_split(self):
+        db = interval_database(200, partitions=2, seed=4)
+        vendors = {row["vendor"] for row in
+                   (r.to_dict() for r in db.cluster.dataset("NYCTaxi").scan())}
+        assert vendors == {1, 2}
+
+
+class TestTextDatabase:
+    def test_threshold_is_query_side(self):
+        db = text_database(100, partitions=2, seed=5)
+        low = db.execute(TEXT_SQL.format(threshold=0.3)).rows[0]["c"]
+        high = db.execute(TEXT_SQL.format(threshold=0.99)).rows[0]["c"]
+        assert low >= high
+
+    def test_default_vocab_scales_with_size(self):
+        small = text_database(40, partitions=2, seed=6)
+        # vocab defaults to max(100, n/4); just ensure data loaded.
+        assert len(small.cluster.dataset("AmazonReview")) == 40

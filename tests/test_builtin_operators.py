@@ -1,0 +1,141 @@
+"""Tests for the hand-written built-in join operators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+from repro.errors import ExecutionError, PlanError
+
+
+def normalized(result):
+    return sorted(tuple(sorted(row.items())) for row in result.rows)
+
+
+class TestBuiltinSpatial:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return spatial_database(80, 400, partitions=4, grid_n=12, seed=7)
+
+    def test_matches_fudj(self, db):
+        fudj = db.execute(SPATIAL_SQL, mode="fudj")
+        builtin = db.execute(SPATIAL_SQL, mode="builtin")
+        assert normalized(fudj) == normalized(builtin)
+        assert len(fudj) > 0
+
+    def test_no_translation_conversions(self, db):
+        builtin = db.execute(SPATIAL_SQL, mode="builtin")
+        assert builtin.metrics.translation_conversions == 0
+
+    def test_fudj_has_translation_conversions(self, db):
+        fudj = db.execute(SPATIAL_SQL, mode="fudj")
+        assert fudj.metrics.translation_conversions > 0
+
+    def test_plan_shows_builtin_operator(self, db):
+        assert "BUILTIN SPATIAL JOIN" in db.explain(SPATIAL_SQL, mode="builtin")
+
+    def test_fewer_comparisons_than_ontop(self, db):
+        builtin = db.execute(SPATIAL_SQL, mode="builtin")
+        ontop = db.execute(SPATIAL_SQL, mode="ontop")
+        assert builtin.metrics.comparisons < ontop.metrics.comparisons / 10
+
+
+class TestAdvancedSpatial:
+    @pytest.fixture(scope="class")
+    def dbs(self):
+        base = spatial_database(80, 400, partitions=4, grid_n=12, seed=7)
+        sweep = spatial_database(80, 400, partitions=4, grid_n=12, seed=7,
+                                 plane_sweep=True)
+        return base, sweep
+
+    def test_same_result(self, dbs):
+        base, sweep = dbs
+        assert normalized(base.execute(SPATIAL_SQL, mode="builtin")) == normalized(
+            sweep.execute(SPATIAL_SQL, mode="builtin")
+        )
+
+    def test_plane_sweep_does_less_work(self, dbs):
+        base, sweep = dbs
+        nested = base.execute(SPATIAL_SQL, mode="builtin")
+        swept = sweep.execute(SPATIAL_SQL, mode="builtin")
+        assert swept.metrics.comparisons < nested.metrics.comparisons
+
+    def test_plan_label(self, dbs):
+        _, sweep = dbs
+        assert "plane-sweep" in sweep.explain(SPATIAL_SQL, mode="builtin")
+
+
+class TestBuiltinInterval:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return interval_database(400, partitions=4, num_buckets=50, seed=8)
+
+    def test_matches_fudj(self, db):
+        fudj = db.execute(INTERVAL_SQL, mode="fudj")
+        builtin = db.execute(INTERVAL_SQL, mode="builtin")
+        assert fudj.rows == builtin.rows
+        assert fudj.rows[0]["c"] > 0
+
+    def test_plan_shows_builtin_operator(self, db):
+        assert "BUILTIN INTERVAL JOIN" in db.explain(INTERVAL_SQL, mode="builtin")
+
+    def test_broadcast_stage_present(self, db):
+        builtin = db.execute(INTERVAL_SQL, mode="builtin")
+        names = [s.name for s in builtin.metrics.stages]
+        assert any("broadcast" in n for n in names)
+
+
+class TestBuiltinText:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return text_database(300, partitions=4, seed=9)
+
+    def test_matches_fudj(self, db):
+        sql = TEXT_SQL.format(threshold=0.8)
+        fudj = db.execute(sql, mode="fudj")
+        builtin = db.execute(sql, mode="builtin")
+        assert fudj.rows == builtin.rows
+
+    def test_multiple_thresholds(self, db):
+        for threshold in (0.5, 0.7, 0.9):
+            sql = TEXT_SQL.format(threshold=threshold)
+            assert db.execute(sql, mode="fudj").rows == db.execute(
+                sql, mode="builtin"
+            ).rows
+
+    def test_plan_shows_builtin_operator(self, db):
+        sql = TEXT_SQL.format(threshold=0.9)
+        assert "BUILTIN TEXT-SIMILARITY JOIN" in db.explain(sql, mode="builtin")
+
+
+class TestBuiltinModeErrors:
+    def test_missing_factory_raises(self):
+        db = spatial_database(10, 10, partitions=2, seed=1)
+        db.builtin_factories.clear()
+        with pytest.raises(PlanError):
+            db.execute(SPATIAL_SQL, mode="builtin")
+
+    def test_invalid_parameters(self):
+        from repro.builtin import (
+            BuiltinIntervalJoinOperator,
+            BuiltinSpatialJoinOperator,
+            BuiltinTextSimilarityJoinOperator,
+        )
+        from repro.engine.operators import Scan
+
+        with pytest.raises(ExecutionError):
+            BuiltinSpatialJoinOperator(Scan("a"), Scan("b"), None, None, n=0)
+        with pytest.raises(ExecutionError):
+            BuiltinSpatialJoinOperator(Scan("a"), Scan("b"), None, None,
+                                       predicate="touches")
+        with pytest.raises(ExecutionError):
+            BuiltinIntervalJoinOperator(Scan("a"), Scan("b"), None, None,
+                                        num_buckets=0)
+        with pytest.raises(ExecutionError):
+            BuiltinTextSimilarityJoinOperator(Scan("a"), Scan("b"), None, None,
+                                              threshold=0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.errors import CatalogError
+
+
+@pytest.fixture()
+def catalog():
+    c = Catalog()
+    c.create_type("Park", [("id", "int"), ("boundary", "geometry")])
+    return c
+
+
+class TestTypes:
+    def test_create_and_lookup(self, catalog):
+        info = catalog.type_info("Park")
+        assert info.field_names == ("id", "boundary")
+        assert catalog.has_type("Park")
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_type("Park", [("id", "int")])
+
+    def test_unknown_field_type(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_type("Bad", [("x", "blob")])
+
+    def test_empty_type_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_type("Empty", [])
+
+    def test_field_type_case_insensitive(self, catalog):
+        catalog.create_type("Mixed", [("x", "GEOMETRY")])
+        assert catalog.type_info("Mixed").fields == (("x", "geometry"),)
+
+    def test_missing_type(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.type_info("Nope")
+
+
+class TestDatasets:
+    def test_create_and_lookup(self, catalog):
+        catalog.create_dataset("Parks", "Park", "id")
+        info = catalog.dataset_info("Parks")
+        assert info.type_name == "Park"
+        assert info.primary_key == "id"
+        assert catalog.has_dataset("Parks")
+        assert catalog.dataset_names() == ["Parks"]
+
+    def test_unknown_type(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_dataset("Parks", "Nope", "id")
+
+    def test_primary_key_must_be_a_field(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_dataset("Parks", "Park", "missing")
+
+    def test_duplicate_dataset(self, catalog):
+        catalog.create_dataset("Parks", "Park", "id")
+        with pytest.raises(CatalogError):
+            catalog.create_dataset("Parks", "Park", "id")
+
+    def test_drop(self, catalog):
+        catalog.create_dataset("Parks", "Park", "id")
+        catalog.drop_dataset("Parks")
+        assert not catalog.has_dataset("Parks")
+        with pytest.raises(CatalogError):
+            catalog.drop_dataset("Parks")

@@ -1,0 +1,56 @@
+"""Unit tests for duplicate-handling strategies."""
+
+from repro.core import (
+    DuplicateAvoidance,
+    DuplicateElimination,
+    NoDedup,
+)
+from repro.core.dedup import strategy_for
+from tests.helpers import BandJoin, ModEquiJoin
+
+
+class TestStrategySelection:
+    def test_multi_assign_gets_avoidance(self):
+        assert isinstance(strategy_for(BandJoin()), DuplicateAvoidance)
+
+    def test_single_assign_gets_none(self):
+        assert isinstance(strategy_for(ModEquiJoin()), NoDedup)
+
+    def test_override_wins(self):
+        override = DuplicateElimination()
+        assert strategy_for(ModEquiJoin(), override) is override
+
+
+class TestStrategies:
+    def test_avoidance_delegates_to_join(self):
+        class Tracker(BandJoin):
+            def __init__(self):
+                super().__init__(1.0, 4)
+                self.calls = 0
+
+            def dedup(self, b1, k1, b2, k2, pplan):
+                self.calls += 1
+                return True
+
+        join = Tracker()
+        strategy = DuplicateAvoidance()
+        assert strategy.keep_local(join, 0, 1.0, 0, 1.5, None)
+        assert join.calls == 1
+
+    def test_elimination_keeps_everything_locally(self):
+        strategy = DuplicateElimination()
+        assert strategy.keep_local(BandJoin(), 0, 1.0, 3, 9.0, None)
+        assert strategy.requires_shuffle
+
+    def test_no_dedup_keeps_everything(self):
+        strategy = NoDedup()
+        assert strategy.keep_local(ModEquiJoin(), 0, 1, 0, 1, None)
+        assert not strategy.requires_shuffle
+
+    def test_avoidance_does_not_require_shuffle(self):
+        assert not DuplicateAvoidance().requires_shuffle
+
+    def test_names(self):
+        assert DuplicateAvoidance().name == "avoidance"
+        assert DuplicateElimination().name == "elimination"
+        assert NoDedup().name == "none"

@@ -1,0 +1,102 @@
+"""Unit tests for the FlexibleJoin interface itself."""
+
+import pytest
+
+from repro.core import FlexibleJoin, JoinSide
+from tests.helpers import BandJoin, ModEquiJoin
+
+
+class TestDefaults:
+    def test_default_match_is_equality(self):
+        join = ModEquiJoin()
+        assert join.match(3, 3)
+        assert not join.match(3, 4)
+
+    def test_uses_default_match_detection(self):
+        assert ModEquiJoin().uses_default_match()
+        assert BandJoin().uses_default_match()
+
+        class Theta(ModEquiJoin):
+            def match(self, b1, b2):
+                return abs(b1 - b2) <= 1
+
+        assert not Theta().uses_default_match()
+
+    def test_abstract_methods_raise(self):
+        join = FlexibleJoin()
+        with pytest.raises(NotImplementedError):
+            join.local_aggregate(1, None, JoinSide.LEFT)
+        with pytest.raises(NotImplementedError):
+            join.global_aggregate(None, None, JoinSide.LEFT)
+        with pytest.raises(NotImplementedError):
+            join.divide(None, None)
+        with pytest.raises(NotImplementedError):
+            join.assign(1, None, JoinSide.LEFT)
+        with pytest.raises(NotImplementedError):
+            join.verify(1, 2, None)
+
+    def test_parameters_stored(self):
+        join = BandJoin(2.5, 16)
+        assert join.parameters == (2.5, 16)
+
+    def test_repr_shows_parameters(self):
+        assert "2.5" in repr(BandJoin(2.5, 16))
+
+
+class TestAssignList:
+    def test_int_normalized_to_list(self):
+        join = ModEquiJoin(4)
+        assert join.assign_list(7, 4, JoinSide.LEFT) == [3]
+
+    def test_list_passthrough(self):
+        join = BandJoin(1.0, 4)
+        pplan = join.divide((0.0, 10.0), (0.0, 10.0))
+        ids = join.assign_list(5.0, pplan, JoinSide.LEFT)
+        assert isinstance(ids, list)
+        assert len(ids) >= 1
+
+
+class TestFirstMatchingBuckets:
+    def test_single_join_picks_smallest_common_bucket(self):
+        join = BandJoin(1.0, 8)
+        pplan = join.divide((0.0, 8.0), (0.0, 8.0))
+        first = join.first_matching_buckets(3.0, 3.5, pplan)
+        ids1 = sorted(join.assign_list(3.0, pplan, JoinSide.LEFT))
+        ids2 = sorted(join.assign_list(3.5, pplan, JoinSide.RIGHT))
+        common = sorted(set(ids1) & set(ids2))
+        assert first == (common[0], common[0])
+
+    def test_no_common_bucket_returns_none(self):
+        join = ModEquiJoin(8)
+        assert join.first_matching_buckets(0, 1, 8) is None
+
+    def test_dedup_default_keeps_only_first(self):
+        join = BandJoin(1.0, 8)
+        pplan = join.divide((0.0, 8.0), (0.0, 8.0))
+        key1, key2 = 3.0, 3.5
+        first = join.first_matching_buckets(key1, key2, pplan)
+        kept = [
+            (b1, b2)
+            for b1 in join.assign_list(key1, pplan, JoinSide.LEFT)
+            for b2 in join.assign_list(key2, pplan, JoinSide.RIGHT)
+            if join.match(b1, b2) and join.dedup(b1, key1, b2, key2, pplan)
+        ]
+        assert kept == [first]
+
+    def test_deterministic_across_calls(self):
+        join = BandJoin(2.0, 16)
+        pplan = join.divide((0.0, 20.0), (0.0, 20.0))
+        a = join.first_matching_buckets(7.0, 8.0, pplan)
+        b = join.first_matching_buckets(7.0, 8.0, pplan)
+        assert a == b
+
+
+class TestCapabilities:
+    def test_uses_dedup_default_true(self):
+        assert BandJoin().uses_dedup()
+
+    def test_uses_dedup_override(self):
+        assert not ModEquiJoin().uses_dedup()
+
+    def test_symmetric_summaries_default(self):
+        assert ModEquiJoin().symmetric_summaries()

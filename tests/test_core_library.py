@@ -1,0 +1,120 @@
+"""Unit tests for the join registry and library loading."""
+
+import pytest
+
+from repro.core import JoinRegistry, JoinSignature, load_join_class
+from repro.errors import JoinLibraryError
+from tests.helpers import BandJoin, ModEquiJoin
+
+
+def sig(name="test_join", params=("any", "any"), class_path="", library=""):
+    return JoinSignature(name, tuple(params), class_path, library)
+
+
+class TestJoinSignature:
+    def test_arity_and_parameters(self):
+        s = sig(params=("string", "string", "double"))
+        assert s.arity == 3
+        assert s.num_parameters == 1
+
+    def test_str(self):
+        assert str(sig(params=("int", "int"))) == "test_join(int, int)"
+
+
+class TestLoadJoinClass:
+    def test_loads_valid_class(self):
+        cls = load_join_class("repro.joins.spatial.SpatialJoin")
+        from repro.joins import SpatialJoin
+
+        assert cls is SpatialJoin
+
+    def test_missing_module(self):
+        with pytest.raises(JoinLibraryError):
+            load_join_class("no.such.module.Cls")
+
+    def test_missing_class(self):
+        with pytest.raises(JoinLibraryError):
+            load_join_class("repro.joins.spatial.NoSuchClass")
+
+    def test_not_a_flexible_join(self):
+        with pytest.raises(JoinLibraryError):
+            load_join_class("repro.geometry.point.Point")
+
+    def test_bad_path_format(self):
+        with pytest.raises(JoinLibraryError):
+            load_join_class("NotDotted")
+
+
+class TestJoinRegistry:
+    def test_create_and_contains(self):
+        registry = JoinRegistry()
+        registry.create(sig(), ModEquiJoin)
+        assert "test_join" in registry
+        assert "other" not in registry
+        assert registry.names() == ["test_join"]
+
+    def test_duplicate_rejected(self):
+        registry = JoinRegistry()
+        registry.create(sig(), ModEquiJoin)
+        with pytest.raises(JoinLibraryError):
+            registry.create(sig(), ModEquiJoin)
+
+    def test_drop(self):
+        registry = JoinRegistry()
+        registry.create(sig(), ModEquiJoin)
+        registry.drop("test_join")
+        assert "test_join" not in registry
+        with pytest.raises(JoinLibraryError):
+            registry.drop("test_join")
+
+    def test_instantiate_with_call_parameters(self):
+        registry = JoinRegistry()
+        registry.create(sig(params=("any", "any", "double", "int")), BandJoin)
+        join = registry.instantiate("test_join", (2.0, 16))
+        assert join.band == 2.0
+        assert join.num_buckets == 16
+
+    def test_instantiate_falls_back_to_defaults(self):
+        registry = JoinRegistry()
+        registry.create(sig(), BandJoin, defaults=(3.0, 4))
+        join = registry.instantiate("test_join", ())
+        assert join.band == 3.0
+        assert join.num_buckets == 4
+
+    def test_call_parameters_override_defaults(self):
+        registry = JoinRegistry()
+        registry.create(sig(), BandJoin, defaults=(3.0, 4))
+        join = registry.instantiate("test_join", (9.0, 2))
+        assert join.band == 9.0
+
+    def test_instantiate_unknown(self):
+        with pytest.raises(JoinLibraryError):
+            JoinRegistry().instantiate("nope", ())
+
+    def test_instantiate_bad_arity(self):
+        registry = JoinRegistry()
+        registry.create(sig(), ModEquiJoin)
+        with pytest.raises(JoinLibraryError):
+            registry.instantiate("test_join", (1, 2, 3, 4, 5))
+
+    def test_lazy_class_path_resolution(self):
+        registry = JoinRegistry()
+        registry.create(sig(class_path="repro.joins.interval.IntervalJoin"))
+        join = registry.instantiate("test_join", (50,))
+        from repro.joins import IntervalJoin
+
+        assert isinstance(join, IntervalJoin)
+        assert join.num_buckets == 50
+
+    def test_non_flexible_join_class_rejected(self):
+        registry = JoinRegistry()
+        with pytest.raises(JoinLibraryError):
+            registry.create(sig(), object)
+
+    def test_signature_lookup(self):
+        registry = JoinRegistry()
+        s = sig(params=("string", "string", "double"))
+        registry.create(s, ModEquiJoin)
+        assert registry.signature("test_join") is s
+        with pytest.raises(JoinLibraryError):
+            registry.signature("nope")

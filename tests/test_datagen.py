@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+from repro.datagen import (
+    ZipfSampler,
+    clustered_points,
+    dataset_summary,
+    generate_parks,
+    generate_reviews,
+    generate_taxi_rides,
+    generate_wildfires,
+)
+from repro.geometry import Point, Polygon, Rectangle
+from repro.interval import Interval
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(10, rng=random.Random(1))
+        assert all(0 <= sampler.sample() < 10 for _ in range(500))
+
+    def test_skew(self):
+        sampler = ZipfSampler(100, s=1.2, rng=random.Random(2))
+        draws = sampler.sample_many(5000)
+        top = sum(1 for d in draws if d < 10)
+        bottom = sum(1 for d in draws if d >= 90)
+        assert top > bottom * 5
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(50, rng=random.Random(3)).sample_many(100)
+        b = ZipfSampler(50, rng=random.Random(3)).sample_many(100)
+        assert a == b
+
+
+class TestClusteredPoints:
+    def test_count_and_extent(self):
+        extent = Rectangle(0, 0, 100, 50)
+        points = clustered_points(200, extent, 5, 3.0, random.Random(4))
+        assert len(points) == 200
+        assert all(extent.contains_point(p) for p in points)
+
+    def test_actually_clustered(self):
+        extent = Rectangle(0, 0, 1000, 1000)
+        points = clustered_points(400, extent, 3, 10.0, random.Random(5),
+                                  uniform_fraction=0.0)
+        # With 3 tight clusters, pairwise distances concentrate: the median
+        # point must be close to one of very few hotspots.
+        xs = sorted(p.x for p in points)
+        spread = xs[len(xs) * 3 // 4] - xs[len(xs) // 4]
+        assert spread < 900  # far tighter than uniform
+
+
+class TestParksGenerator:
+    def test_schema(self):
+        rows = generate_parks(20, seed=1)
+        assert len(rows) == 20
+        for row in rows:
+            assert isinstance(row["boundary"], Polygon)
+            assert isinstance(row["tags"], str)
+            assert row["tags"]
+
+    def test_deterministic(self):
+        assert generate_parks(10, seed=7) == generate_parks(10, seed=7)
+
+    def test_size_variation(self):
+        rows = generate_parks(200, seed=2)
+        areas = sorted(row["boundary"].mbr().area for row in rows)
+        assert areas[-1] > areas[len(areas) // 2] * 5  # heavy tail
+
+    def test_unique_ids(self):
+        rows = generate_parks(50, seed=3)
+        assert len({row["id"] for row in rows}) == 50
+
+
+class TestWildfiresGenerator:
+    def test_schema(self):
+        rows = generate_wildfires(30, seed=1)
+        for row in rows:
+            assert isinstance(row["location"], Point)
+            assert row["fire_end"] > row["fire_start"]
+
+    def test_deterministic(self):
+        assert generate_wildfires(10, seed=4) == generate_wildfires(10, seed=4)
+
+
+class TestTaxiGenerator:
+    def test_schema(self):
+        rows = generate_taxi_rides(40, seed=1)
+        for row in rows:
+            assert row["vendor"] in (1, 2)
+            assert isinstance(row["ride_interval"], Interval)
+            assert row["ride_interval"].length >= 1.0
+
+    def test_both_vendors_present(self):
+        rows = generate_taxi_rides(200, seed=2)
+        vendors = {row["vendor"] for row in rows}
+        assert vendors == {1, 2}
+
+    def test_durations_bounded(self):
+        rows = generate_taxi_rides(300, seed=3)
+        assert all(row["ride_interval"].length <= 120.0 for row in rows)
+
+
+class TestReviewsGenerator:
+    def test_schema(self):
+        rows = generate_reviews(50, seed=1)
+        for row in rows:
+            assert 1 <= row["overall"] <= 5
+            assert row["review"]
+
+    def test_near_duplicates_exist(self):
+        from repro.text import jaccard_similarity, tokenize
+
+        rows = generate_reviews(300, seed=2)
+        best = 0.0
+        texts = [row["review"] for row in rows]
+        for i in range(0, 100):
+            for j in range(i + 1, 100):
+                best = max(best, jaccard_similarity(tokenize(texts[i]),
+                                                    tokenize(texts[j])))
+        assert best >= 0.8
+
+    def test_deterministic(self):
+        assert generate_reviews(20, seed=5) == generate_reviews(20, seed=5)
+
+    def test_all_ratings_present(self):
+        rows = generate_reviews(300, seed=6)
+        assert {row["overall"] for row in rows} == {1, 2, 3, 4, 5}
+
+
+class TestDatasetSummary:
+    def test_fields(self):
+        rows = generate_parks(100, seed=1)
+        summary = dataset_summary("Parks", rows, "boundary", "Polygon")
+        assert summary["name"] == "Parks"
+        assert summary["records"] == 100
+        assert summary["key_type"] == "Polygon"
+        assert summary["size_bytes"] > 0
+
+    def test_empty(self):
+        summary = dataset_summary("X", [], "k", "Point")
+        assert summary["records"] == 0
+        assert summary["size_bytes"] == 0
+
+    def test_size_scales_with_records(self):
+        small = dataset_summary("S", generate_wildfires(100, seed=1), "location",
+                                "Point")
+        large = dataset_summary("L", generate_wildfires(1000, seed=1), "location",
+                                "Point")
+        assert 5 < large["size_bytes"] / small["size_bytes"] < 20

@@ -1,0 +1,147 @@
+"""Edge cases across the full SQL pipeline: empty inputs, singletons,
+degenerate data, and skew."""
+
+import pytest
+
+from repro.database import Database
+from repro.geometry import Point, Polygon
+from repro.interval import Interval
+from repro.joins import IntervalJoin, SpatialContainsJoin, TextSimilarityJoin
+
+
+def spatial_db(parks, fires, partitions=4):
+    db = Database(num_partitions=partitions)
+    db.execute("CREATE TYPE P { id: int, boundary: geometry }")
+    db.execute("CREATE DATASET Parks(P) PRIMARY KEY id")
+    db.execute("CREATE TYPE F { id: int, location: point }")
+    db.execute("CREATE DATASET Fires(F) PRIMARY KEY id")
+    db.load("Parks", parks)
+    db.load("Fires", fires)
+    db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+    return db
+
+
+SQL = ("SELECT COUNT(1) AS c FROM Parks p, Fires f "
+       "WHERE st_contains(p.boundary, f.location)")
+
+
+class TestEmptyInputs:
+    def test_both_sides_empty(self):
+        db = spatial_db([], [])
+        for mode in ("fudj", "ontop"):
+            assert db.execute(SQL, mode=mode).rows == [{"c": 0}]
+
+    def test_left_empty(self):
+        db = spatial_db([], [{"id": 1, "location": Point(0, 0)}])
+        assert db.execute(SQL).rows == [{"c": 0}]
+
+    def test_right_empty(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        db = spatial_db([{"id": 1, "boundary": square}], [])
+        assert db.execute(SQL).rows == [{"c": 0}]
+
+    def test_filter_empties_one_side(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        db = spatial_db([{"id": 1, "boundary": square}],
+                        [{"id": 1, "location": Point(1, 1)}])
+        result = db.execute(
+            "SELECT COUNT(1) AS c FROM Parks p, Fires f "
+            "WHERE p.id > 100 AND st_contains(p.boundary, f.location)"
+        )
+        assert result.rows == [{"c": 0}]
+
+    def test_group_by_on_empty_join(self):
+        db = spatial_db([], [])
+        result = db.execute(
+            "SELECT p.id, COUNT(1) AS c FROM Parks p, Fires f "
+            "WHERE st_contains(p.boundary, f.location) GROUP BY p.id"
+        )
+        assert len(result) == 0
+
+
+class TestSingletons:
+    def test_one_record_each_side(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        db = spatial_db([{"id": 1, "boundary": square}],
+                        [{"id": 1, "location": Point(1, 1)}])
+        assert db.execute(SQL).rows == [{"c": 1}]
+
+    def test_more_partitions_than_records(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        db = spatial_db([{"id": 1, "boundary": square}],
+                        [{"id": 1, "location": Point(1, 1)}],
+                        partitions=16)
+        assert db.execute(SQL).rows == [{"c": 1}]
+
+
+class TestDegenerateData:
+    def test_all_identical_intervals(self):
+        db = Database(num_partitions=4)
+        db.execute("CREATE TYPE T { id: int, iv: interval }")
+        db.execute("CREATE DATASET D(T) PRIMARY KEY id")
+        db.load("D", [{"id": i, "iv": Interval(5.0, 10.0)} for i in range(12)])
+        db.create_join("overlapping_interval", IntervalJoin, defaults=(16,))
+        result = db.execute(
+            "SELECT COUNT(1) AS c FROM D a, D b "
+            "WHERE overlapping_interval(a.iv, b.iv)"
+        )
+        assert result.rows == [{"c": 144}]
+
+    def test_zero_length_timeline(self):
+        db = Database(num_partitions=2)
+        db.execute("CREATE TYPE T { id: int, iv: interval }")
+        db.execute("CREATE DATASET D(T) PRIMARY KEY id")
+        db.load("D", [{"id": i, "iv": Interval(7.0, 7.0)} for i in range(4)])
+        db.create_join("overlapping_interval", IntervalJoin, defaults=(8,))
+        result = db.execute(
+            "SELECT COUNT(1) AS c FROM D a, D b "
+            "WHERE overlapping_interval(a.iv, b.iv)"
+        )
+        # Zero-length intervals never strictly overlap.
+        assert result.rows == [{"c": 0}]
+
+    def test_all_identical_texts(self):
+        db = Database(num_partitions=4)
+        db.execute("CREATE TYPE T { id: int, txt: text }")
+        db.execute("CREATE DATASET D(T) PRIMARY KEY id")
+        db.load("D", [{"id": i, "txt": "same words here"} for i in range(10)])
+        db.create_join("similarity_jaccard", TextSimilarityJoin)
+        result = db.execute(
+            "SELECT COUNT(1) AS c FROM D a, D b "
+            "WHERE similarity_jaccard(a.txt, b.txt) >= 0.9"
+        )
+        assert result.rows == [{"c": 100}]
+
+    def test_all_points_at_one_location(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        db = spatial_db(
+            [{"id": 1, "boundary": square}],
+            [{"id": i, "location": Point(1.0, 1.0)} for i in range(50)],
+        )
+        assert db.execute(SQL).rows == [{"c": 50}]
+
+
+class TestSkew:
+    def test_everything_in_one_tile_still_correct(self):
+        # Heavy skew: all geometry concentrated in a tiny corner of a
+        # large grid — one hot tile, results must still be exact.
+        square = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        fires = [{"id": i, "location": Point(0.5 + i * 1e-6, 0.5)}
+                 for i in range(60)]
+        far = {"id": 99, "boundary":
+               Polygon([(500, 500), (501, 500), (501, 501), (500, 501)])}
+        db = spatial_db([{"id": 1, "boundary": square}, far], fires)
+        fudj = db.execute(SQL, mode="fudj")
+        ontop = db.execute(SQL, mode="ontop")
+        assert fudj.rows == ontop.rows == [{"c": 60}]
+
+    def test_skew_visible_in_makespan(self):
+        # With one hot worker, adding cores beyond the partition count
+        # cannot help: makespan is floored by the hot partition.
+        square = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        fires = [{"id": i, "location": Point(0.5, 0.5)} for i in range(80)]
+        db = spatial_db([{"id": 1, "boundary": square}], fires)
+        metrics = db.execute(SQL).metrics
+        assert metrics.simulated_seconds(64) == pytest.approx(
+            metrics.simulated_seconds(128), rel=0.2
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the exchange (shuffle) primitives."""
+
+from repro.engine import Cluster, Record, Schema
+from repro.engine.context import ExecutionContext
+from repro.engine.exchange import broadcast_exchange, hash_exchange, random_exchange
+from repro.serde.values import unbox
+
+
+def make_partitions(ctx, count):
+    schema = Schema(["k", "v"])
+    partitions = [[] for _ in range(ctx.num_partitions)]
+    for i in range(count):
+        partitions[i % ctx.num_partitions].append(
+            Record.from_dict(schema, {"k": i, "v": f"val{i}"})
+        )
+    return partitions
+
+
+class TestHashExchange:
+    def setup_method(self):
+        self.ctx = ExecutionContext(Cluster(num_partitions=4))
+
+    def test_preserves_all_records(self):
+        partitions = make_partitions(self.ctx, 40)
+        out = hash_exchange(partitions, lambda r: r["k"], self.ctx)
+        assert sum(len(p) for p in out) == 40
+
+    def test_same_key_lands_together(self):
+        schema = Schema(["k"])
+        partitions = [[Record.from_dict(schema, {"k": 7})] for _ in range(4)]
+        out = hash_exchange(partitions, lambda r: r["k"], self.ctx)
+        nonempty = [p for p in out if p]
+        assert len(nonempty) == 1
+        assert len(nonempty[0]) == 4
+
+    def test_charges_network_bytes(self):
+        partitions = make_partitions(self.ctx, 40)
+        hash_exchange(partitions, lambda r: r["k"], self.ctx, "x")
+        assert self.ctx.metrics.stage("x").network_bytes > 0
+
+    def test_deterministic(self):
+        partitions = make_partitions(self.ctx, 20)
+        a = hash_exchange([list(p) for p in partitions], lambda r: r["k"], self.ctx)
+        b = hash_exchange([list(p) for p in partitions], lambda r: r["k"], self.ctx)
+        assert [[r.to_dict() for r in p] for p in a] == [
+            [r.to_dict() for r in p] for p in b
+        ]
+
+
+class TestBroadcastExchange:
+    def setup_method(self):
+        self.ctx = ExecutionContext(Cluster(num_partitions=3))
+
+    def test_every_worker_gets_everything(self):
+        partitions = make_partitions(self.ctx, 9)
+        out = broadcast_exchange(partitions, self.ctx)
+        for partition in out:
+            assert len(partition) == 9
+
+    def test_fabric_cost_scales_with_replicas(self):
+        partitions = make_partitions(self.ctx, 9)
+        broadcast_exchange(partitions, self.ctx, "b")
+        stage = self.ctx.metrics.stage("b")
+        one_copy = sum(
+            r.serialized_size() for p in partitions for r in p
+        )
+        # Broadcast replication saturates the shared fabric, not the NICs.
+        assert stage.fabric_bytes == one_copy * 2  # P - 1 replicas
+        assert stage.network_bytes == 0
+
+    def test_empty_input(self):
+        out = broadcast_exchange([[] for _ in range(3)], self.ctx)
+        assert all(p == [] for p in out)
+
+
+class TestRandomExchange:
+    def setup_method(self):
+        self.ctx = ExecutionContext(Cluster(num_partitions=4))
+
+    def test_balanced(self):
+        partitions = make_partitions(self.ctx, 40)
+        out = random_exchange(partitions, self.ctx)
+        assert [len(p) for p in out] == [10, 10, 10, 10]
+
+    def test_preserves_records(self):
+        partitions = make_partitions(self.ctx, 17)
+        out = random_exchange(partitions, self.ctx)
+        moved = sorted(unbox(r["k"]) for p in out for r in p)
+        assert moved == list(range(17))

@@ -1,0 +1,89 @@
+"""Unit tests for records and schemas."""
+
+import pytest
+
+from repro.engine import Record, Schema
+from repro.errors import ExecutionError
+from repro.serde import box
+
+
+class TestSchema:
+    def test_fields_and_lookup(self):
+        s = Schema(["a", "b", "c"])
+        assert len(s) == 3
+        assert s.index_of("b") == 1
+        assert "c" in s
+        assert "z" not in s
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ExecutionError):
+            Schema(["a", "a"])
+
+    def test_unknown_field(self):
+        with pytest.raises(ExecutionError):
+            Schema(["a"]).index_of("b")
+
+    def test_qualify(self):
+        s = Schema(["id", "name"]).qualify("p")
+        assert s.fields == ("p.id", "p.name")
+
+    def test_concat(self):
+        s = Schema(["a"]).concat(Schema(["b", "c"]))
+        assert s.fields == ("a", "b", "c")
+
+    def test_equality(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+
+class TestRecord:
+    def setup_method(self):
+        self.schema = Schema(["id", "name"])
+
+    def test_from_dict(self):
+        r = Record.from_dict(self.schema, {"id": 1, "name": "x"})
+        assert r["id"] == box(1)
+        assert r["name"] == box("x")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ExecutionError):
+            Record(self.schema, (box(1),))
+
+    def test_get_with_default(self):
+        r = Record.from_dict(self.schema, {"id": 1, "name": "x"})
+        assert r.get("missing", "fallback") == "fallback"
+        assert r.get("id") == box(1)
+
+    def test_to_dict_unboxes(self):
+        r = Record.from_dict(self.schema, {"id": 7, "name": "y"})
+        assert r.to_dict() == {"id": 7, "name": "y"}
+
+    def test_concat(self):
+        left = Record.from_dict(Schema(["a"]), {"a": 1})
+        right = Record.from_dict(Schema(["b"]), {"b": 2})
+        joined = left.concat(right)
+        assert joined.schema.fields == ("a", "b")
+        assert joined.to_dict() == {"a": 1, "b": 2}
+
+    def test_concat_with_precomputed_schema(self):
+        left = Record.from_dict(Schema(["a"]), {"a": 1})
+        right = Record.from_dict(Schema(["b"]), {"b": 2})
+        schema = left.schema.concat(right.schema)
+        assert left.concat(right, schema).schema is schema
+
+    def test_equality_and_hash(self):
+        a = Record.from_dict(self.schema, {"id": 1, "name": "x"})
+        b = Record.from_dict(self.schema, {"id": 1, "name": "x"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_serialized_size_positive(self):
+        r = Record.from_dict(self.schema, {"id": 1, "name": "hello"})
+        assert r.serialized_size() > 0
+
+    def test_serialized_size_opaque_values(self):
+        class Opaque:
+            pass
+
+        r = Record(Schema(["x"]), (Opaque(),))
+        assert r.serialized_size() == 16

@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts must run clean end to end.
+
+Each example asserts its own invariants internally (mode agreement,
+standalone-vs-distributed equality), so a zero exit code is a meaningful
+check, not just an import test.  The slowest examples are skipped unless
+RUN_SLOW_EXAMPLES is set, keeping the default suite fast.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = ["quickstart.py", "custom_join.py", "weather_analysis.py",
+        "fleet_proximity.py"]
+SLOW = ["wildfire_parks.py", "similar_reviews.py", "taxi_overlaps.py",
+        "extension_tour.py"]
+
+
+def run_example(name: str):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.skipif(not os.environ.get("RUN_SLOW_EXAMPLES"),
+                    reason="set RUN_SLOW_EXAMPLES=1 to run")
+def test_slow_example(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

@@ -1,0 +1,63 @@
+"""Tests for the EXPLAIN / EXPLAIN ANALYZE SQL statements."""
+
+import pytest
+
+from repro.bench import SPATIAL_SQL, spatial_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return spatial_database(40, 200, partitions=4, grid_n=8, seed=1)
+
+
+class TestExplain:
+    def test_explain_returns_plan_lines(self, db):
+        result = db.execute("EXPLAIN " + SPATIAL_SQL)
+        assert result.schema == ("plan",)
+        text = "\n".join(row["plan"] for row in result.rows)
+        assert "FUDJ JOIN" in text
+        assert "SCAN Parks AS p" in text
+
+    def test_explain_respects_mode(self, db):
+        result = db.execute("EXPLAIN " + SPATIAL_SQL, mode="ontop")
+        text = "\n".join(row["plan"] for row in result.rows)
+        assert "NESTED LOOP JOIN" in text
+        assert "FUDJ" not in text
+
+    def test_explain_does_not_execute(self, db):
+        result = db.execute("EXPLAIN " + SPATIAL_SQL)
+        # No stages were charged: the query never ran.
+        assert result.metrics.total_cpu_units() == 0
+
+    def test_explain_analyze_executes_and_profiles(self, db):
+        result = db.execute("EXPLAIN ANALYZE " + SPATIAL_SQL)
+        text = "\n".join(row["plan"] for row in result.rows)
+        assert "FUDJ JOIN" in text
+        assert "cpu units" in text  # the profile header
+        assert "combine" in text  # a FUDJ stage row
+        assert result.metrics.total_cpu_units() > 0
+
+    def test_explain_semicolon(self, db):
+        assert len(db.execute("EXPLAIN SELECT p.id FROM Parks p;")) > 0
+
+
+class TestProfileRendering:
+    def test_profile_includes_sim_column_with_cores(self, db):
+        result = db.execute(SPATIAL_SQL)
+        profile = result.metrics.profile(cores=12)
+        assert "sim ms" in profile
+        assert "combine" in profile
+
+    def test_profile_without_cores(self, db):
+        result = db.execute(SPATIAL_SQL)
+        profile = result.metrics.profile()
+        assert "sim ms" not in profile
+        assert "cpu units" in profile
+
+    def test_empty_stages_skipped(self, db):
+        result = db.execute(SPATIAL_SQL)
+        profile = result.metrics.profile()
+        # The pplan broadcast stage has only fabric bytes... every printed
+        # row must have some charge.
+        for line in profile.splitlines()[2:]:
+            assert any(ch.isdigit() for ch in line)

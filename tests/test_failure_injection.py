@@ -1,0 +1,99 @@
+"""Failure injection: broken FUDJ libraries must fail with phase context.
+
+A developer debugging a join library should see which phase the engine
+was in (summarize / divide / assign / verify ...) — not a raw traceback
+from deep inside an operator.
+"""
+
+import pytest
+
+from repro.engine.operators.fudj_join import FudjCallbackError
+from repro.errors import ExecutionError
+from tests.helpers import BandJoin
+
+
+def run_with(join):
+    from repro.engine import Cluster, Schema
+    from repro.engine.executor import execute_plan
+    from repro.engine.operators import FudjJoin, Scan
+    from repro.serde.values import unbox
+
+    cluster = Cluster(num_partitions=3)
+    left = cluster.create_dataset("L", Schema(["id", "k"]), "id")
+    left.bulk_load({"id": i, "k": float(i)} for i in range(10))
+    right = cluster.create_dataset("R", Schema(["id", "k"]), "id")
+    right.bulk_load({"id": i, "k": float(i) + 0.4} for i in range(10))
+    op = FudjJoin(
+        Scan("L", "l"), Scan("R", "r"), join,
+        lambda r: unbox(r["l.k"]), lambda r: unbox(r["r.k"]),
+    )
+    return execute_plan(op, cluster)
+
+
+class TestBrokenCallbacks:
+    def test_failing_summarize(self):
+        class Broken(BandJoin):
+            def local_aggregate(self, key, summary, side):
+                raise RuntimeError("boom")
+
+        with pytest.raises(FudjCallbackError, match="local_aggregate"):
+            run_with(Broken(1.0, 4))
+
+    def test_failing_global_aggregate(self):
+        class Broken(BandJoin):
+            def global_aggregate(self, s1, s2, side):
+                raise ValueError("cannot merge")
+
+        with pytest.raises(FudjCallbackError, match="global_aggregate"):
+            run_with(Broken(1.0, 4))
+
+    def test_failing_divide(self):
+        class Broken(BandJoin):
+            def divide(self, s1, s2):
+                raise KeyError("no plan")
+
+        with pytest.raises(FudjCallbackError, match="divide"):
+            run_with(Broken(1.0, 4))
+
+    def test_failing_assign(self):
+        class Broken(BandJoin):
+            def assign(self, key, pplan, side):
+                raise IndexError("out of buckets")
+
+        with pytest.raises(FudjCallbackError, match="assign"):
+            run_with(Broken(1.0, 4))
+
+    def test_assign_returning_non_int_buckets(self):
+        class Broken(BandJoin):
+            def assign(self, key, pplan, side):
+                return ["bucket-one"]
+
+        with pytest.raises(FudjCallbackError, match="bucket ids must be ints"):
+            run_with(Broken(1.0, 4))
+
+    def test_error_carries_context(self):
+        class Broken(BandJoin):
+            name = "my-broken-join"
+
+            def divide(self, s1, s2):
+                raise RuntimeError("original message")
+
+        with pytest.raises(FudjCallbackError) as excinfo:
+            run_with(Broken(1.0, 4))
+        error = excinfo.value
+        assert error.join_name == "my-broken-join"
+        assert error.phase == "divide"
+        assert isinstance(error.original, RuntimeError)
+        assert "original message" in str(error)
+
+    def test_callback_error_is_an_execution_error(self):
+        class Broken(BandJoin):
+            def divide(self, s1, s2):
+                raise RuntimeError
+
+        with pytest.raises(ExecutionError):
+            run_with(Broken(1.0, 4))
+
+    def test_healthy_join_unaffected(self):
+        result = run_with(BandJoin(1.0, 4))
+        assert len(result) > 0

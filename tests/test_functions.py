@@ -1,0 +1,93 @@
+"""Unit tests for the scalar function registry."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.geometry import Point, Polygon, Rectangle
+from repro.interval import Interval
+from repro.query.functions import default_function_registry
+
+
+@pytest.fixture()
+def registry():
+    return default_function_registry()
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self, registry):
+        assert registry.lookup("ST_CONTAINS") is registry.lookup("st_contains")
+
+    def test_contains(self, registry):
+        assert "st_makepoint" in registry
+        assert "no_such_fn" not in registry
+
+    def test_unknown_raises(self, registry):
+        with pytest.raises(PlanError):
+            registry.lookup("no_such_fn")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(PlanError):
+            registry.register("st_contains", lambda: None, 2)
+
+    def test_udf_defaults_expensive(self, registry):
+        registry.register_udf("my_udf", lambda a: a)
+        assert registry.lookup("my_udf").expensive
+
+    def test_expensive_flags(self, registry):
+        assert registry.lookup("st_contains").expensive
+        assert registry.lookup("similarity_jaccard").expensive
+        assert not registry.lookup("st_makepoint").expensive
+
+
+class TestImplementations:
+    def test_st_makepoint(self, registry):
+        fn = registry.lookup("st_makepoint").fn
+        assert fn(1, 2) == Point(1.0, 2.0)
+
+    def test_st_contains(self, registry):
+        fn = registry.lookup("st_contains").fn
+        square = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert fn(square, Point(1, 1))
+        assert not fn(square, Point(9, 9))
+
+    def test_st_distance(self, registry):
+        fn = registry.lookup("st_distance").fn
+        assert fn(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_st_rectangle(self, registry):
+        fn = registry.lookup("st_rectangle").fn
+        assert fn(0, 0, 1, 2) == Rectangle(0, 0, 1, 2)
+
+    def test_similarity_jaccard_on_strings(self, registry):
+        fn = registry.lookup("similarity_jaccard").fn
+        assert fn("a b c", "a b c") == 1.0
+        assert fn("a b", "c d") == 0.0
+
+    def test_similarity_jaccard_on_token_lists(self, registry):
+        fn = registry.lookup("similarity_jaccard").fn
+        assert fn(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_word_tokens(self, registry):
+        fn = registry.lookup("word_tokens").fn
+        assert fn("B a b") == ["a", "b"]
+
+    def test_interval_constructor_and_overlap(self, registry):
+        make = registry.lookup("interval").fn
+        overlap = registry.lookup("overlapping_interval").fn
+        assert make(1, 5) == Interval(1.0, 5.0)
+        assert overlap(Interval(0, 5), Interval(4, 9))
+        assert not overlap(Interval(0, 1), Interval(1, 2))
+
+    def test_parse_date_mdy(self, registry):
+        fn = registry.lookup("parse_date").fn
+        jan1 = fn("01/01/2022", "M/D/Y")
+        jan2 = fn("01/02/2022", "M/D/Y")
+        assert jan2 - jan1 == 86400.0
+
+    def test_parse_date_iso(self, registry):
+        fn = registry.lookup("parse_date").fn
+        assert fn("2022-01-01", "Y-M-D") == fn("01/01/2022", "M/D/Y")
+
+    def test_parse_date_bad_format(self, registry):
+        with pytest.raises(PlanError):
+            registry.lookup("parse_date").fn("01/01/2022", "D.M.Y")

@@ -1,0 +1,112 @@
+"""Unit tests for the PBSM uniform grid."""
+
+import pytest
+
+from repro.geometry import Point, Rectangle, UniformGrid
+
+EXTENT = Rectangle(0.0, 0.0, 10.0, 10.0)
+
+
+class TestGridBasics:
+    def test_tile_count(self):
+        assert UniformGrid(EXTENT, 5).tile_count == 25
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UniformGrid(EXTENT, 0)
+
+    def test_tile_dimensions(self):
+        grid = UniformGrid(EXTENT, 4)
+        assert grid.tile_width == 2.5
+        assert grid.tile_height == 2.5
+
+    def test_column_and_row(self):
+        grid = UniformGrid(EXTENT, 10)
+        assert grid.column_of(0.5) == 0
+        assert grid.column_of(9.9) == 9
+        assert grid.row_of(5.0) == 5
+
+    def test_clamping_outside_extent(self):
+        grid = UniformGrid(EXTENT, 10)
+        assert grid.column_of(-5.0) == 0
+        assert grid.column_of(50.0) == 9
+        assert grid.row_of(-1.0) == 0
+        assert grid.row_of(11.0) == 9
+
+    def test_tile_id_row_major(self):
+        grid = UniformGrid(EXTENT, 4)
+        assert grid.tile_id(0, 0) == 0
+        assert grid.tile_id(3, 0) == 3
+        assert grid.tile_id(0, 1) == 4
+        assert grid.tile_id(3, 3) == 15
+
+    def test_tile_extent_roundtrip(self):
+        grid = UniformGrid(EXTENT, 5)
+        for tile_id in range(grid.tile_count):
+            extent = grid.tile_extent(tile_id)
+            center = extent.center()
+            assert grid.tile_id(grid.column_of(center.x), grid.row_of(center.y)) == tile_id
+
+    def test_tile_extent_out_of_range(self):
+        grid = UniformGrid(EXTENT, 2)
+        with pytest.raises(ValueError):
+            grid.tile_extent(4)
+        with pytest.raises(ValueError):
+            grid.tile_extent(-1)
+
+
+class TestOverlappingTiles:
+    def test_point_in_one_tile(self):
+        grid = UniformGrid(EXTENT, 10)
+        assert grid.overlapping_tile_ids(Point(2.5, 3.5).mbr()) == [32]
+
+    def test_rectangle_spanning_tiles(self):
+        grid = UniformGrid(EXTENT, 10)
+        ids = grid.overlapping_tile_ids(Rectangle(0.5, 0.5, 2.5, 1.5))
+        # Columns 0-2, rows 0-1.
+        assert sorted(ids) == [0, 1, 2, 10, 11, 12]
+
+    def test_rectangle_outside_extent_clamps_to_border(self):
+        grid = UniformGrid(EXTENT, 10)
+        ids = grid.overlapping_tile_ids(Rectangle(-5, -5, -4, -4))
+        assert ids == [0]
+
+    def test_full_extent_covers_everything(self):
+        grid = UniformGrid(EXTENT, 4)
+        ids = grid.overlapping_tile_ids(EXTENT)
+        assert sorted(ids) == list(range(16))
+
+    def test_overlapping_rectangles_share_a_tile(self):
+        # The completeness invariant PBSM relies on: intersecting MBRs
+        # always share at least one (clamped) tile.
+        grid = UniformGrid(EXTENT, 7)
+        a = Rectangle(1.1, 2.2, 3.3, 4.4)
+        b = Rectangle(3.0, 4.0, 8.0, 9.0)
+        assert a.intersects(b)
+        assert set(grid.overlapping_tile_ids(a)) & set(grid.overlapping_tile_ids(b))
+
+    def test_degenerate_extent(self):
+        grid = UniformGrid(Rectangle(5, 5, 5, 5), 3)
+        assert grid.overlapping_tile_ids(Point(5, 5).mbr()) == [0]
+        assert grid.overlapping_tile_ids(Point(99, 99).mbr()) == [0]
+
+
+class TestReferencePoint:
+    def test_reference_tile_is_shared(self):
+        grid = UniformGrid(EXTENT, 10)
+        a = Rectangle(1, 1, 4, 4)
+        b = Rectangle(3, 3, 6, 6)
+        ref = grid.reference_tile_id(a, b)
+        shared = set(grid.overlapping_tile_ids(a)) & set(grid.overlapping_tile_ids(b))
+        assert ref in shared
+
+    def test_reference_tile_symmetric(self):
+        grid = UniformGrid(EXTENT, 8)
+        a = Rectangle(0.5, 0.5, 5, 5)
+        b = Rectangle(2, 3, 9, 9)
+        assert grid.reference_tile_id(a, b) == grid.reference_tile_id(b, a)
+
+    def test_disjoint_raises(self):
+        grid = UniformGrid(EXTENT, 4)
+        with pytest.raises(ValueError):
+            grid.reference_tile_id(Rectangle(0, 0, 1, 1), Rectangle(5, 5, 6, 6))

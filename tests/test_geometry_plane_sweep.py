@@ -1,0 +1,68 @@
+"""Unit tests for the plane-sweep rectangle join."""
+
+import random
+
+from repro.geometry import Rectangle, plane_sweep_pairs
+
+
+def _nested_loop_pairs(left, right):
+    return {
+        (l_payload, r_payload)
+        for l_mbr, l_payload in left
+        for r_mbr, r_payload in right
+        if l_mbr.intersects(r_mbr)
+    }
+
+
+def _random_rect(rng):
+    x = rng.uniform(0, 100)
+    y = rng.uniform(0, 100)
+    return Rectangle(x, y, x + rng.uniform(0, 15), y + rng.uniform(0, 15))
+
+
+class TestPlaneSweep:
+    def test_empty_inputs(self):
+        assert list(plane_sweep_pairs([], [])) == []
+        assert list(plane_sweep_pairs([(Rectangle(0, 0, 1, 1), "a")], [])) == []
+
+    def test_single_overlap(self):
+        left = [(Rectangle(0, 0, 2, 2), "L")]
+        right = [(Rectangle(1, 1, 3, 3), "R")]
+        assert list(plane_sweep_pairs(left, right)) == [("L", "R")]
+
+    def test_disjoint(self):
+        left = [(Rectangle(0, 0, 1, 1), "L")]
+        right = [(Rectangle(5, 5, 6, 6), "R")]
+        assert list(plane_sweep_pairs(left, right)) == []
+
+    def test_matches_nested_loop_on_random_data(self):
+        rng = random.Random(1234)
+        for trial in range(5):
+            left = [(_random_rect(rng), f"l{i}") for i in range(40)]
+            right = [(_random_rect(rng), f"r{i}") for i in range(40)]
+            swept = set(plane_sweep_pairs(left, right))
+            assert swept == _nested_loop_pairs(left, right)
+
+    def test_x_overlap_but_y_disjoint(self):
+        left = [(Rectangle(0, 0, 10, 1), "L")]
+        right = [(Rectangle(0, 5, 10, 6), "R")]
+        assert list(plane_sweep_pairs(left, right)) == []
+
+    def test_duplicate_coordinates(self):
+        rect = Rectangle(0, 0, 1, 1)
+        left = [(rect, "a"), (rect, "b")]
+        right = [(rect, "x"), (rect, "y")]
+        pairs = set(plane_sweep_pairs(left, right))
+        assert pairs == {("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")}
+
+    def test_counter_counts_fewer_than_nested_loop(self):
+        rng = random.Random(99)
+        left = [(_random_rect(rng), i) for i in range(100)]
+        right = [(_random_rect(rng), i) for i in range(100)]
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        list(plane_sweep_pairs(left, right, counter=bump))
+        assert 0 < count[0] < 100 * 100

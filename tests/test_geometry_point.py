@@ -1,0 +1,51 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestPoint:
+    def test_coordinates(self):
+        p = Point(3.0, 4.0)
+        assert p.x == 3.0
+        assert p.y == 4.0
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1.0, 5.0) < Point(2.0, 0.0)
+        assert Point(1.0, 1.0) < Point(1.0, 2.0)
+
+    def test_immutability(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+    def test_mbr_is_degenerate_rectangle(self):
+        mbr = Point(2.0, 3.0).mbr()
+        assert mbr.as_tuple() == (2.0, 3.0, 2.0, 3.0)
+        assert mbr.area == 0.0
+
+    def test_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+        assert Point(1.0, 1.0).distance_to(Point(1.0, 1.0)) == 0.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(-1.5, 2.0), Point(4.0, -3.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translate(self):
+        assert Point(1.0, 2.0).translate(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_sorting_points(self):
+        points = [Point(2, 1), Point(1, 2), Point(1, 1)]
+        assert sorted(points) == [Point(1, 1), Point(1, 2), Point(2, 1)]

@@ -1,0 +1,98 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rectangle
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+TRIANGLE = Polygon([(0, 0), (4, 0), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_tuples_and_points(self):
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([Point(0, 0), Point(1, 0), Point(0, 1)])
+        assert a == b
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_mbr(self):
+        assert TRIANGLE.mbr() == Rectangle(0, 0, 4, 3)
+
+    def test_equality_and_hash(self):
+        assert SQUARE == Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert hash(SQUARE) == hash(Polygon([(0, 0), (4, 0), (4, 4), (0, 4)]))
+
+    def test_regular(self):
+        hexagon = Polygon.regular(Point(0, 0), 2.0, sides=6)
+        assert len(hexagon.vertices) == 6
+        # All vertices at distance 2 from the center.
+        for v in hexagon.vertices:
+            assert abs(v.distance_to(Point(0, 0)) - 2.0) < 1e-9
+
+    def test_regular_too_few_sides(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Point(0, 0), 1.0, sides=2)
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        assert SQUARE.contains_point(Point(2, 2))
+
+    def test_exterior(self):
+        assert not SQUARE.contains_point(Point(5, 2))
+        assert not SQUARE.contains_point(Point(-0.1, 2))
+
+    def test_boundary_counts_as_inside(self):
+        assert SQUARE.contains_point(Point(0, 2))
+        assert SQUARE.contains_point(Point(4, 4))
+
+    def test_vertex_counts_as_inside(self):
+        assert TRIANGLE.contains_point(Point(0, 0))
+
+    def test_point_inside_mbr_but_outside_polygon(self):
+        # The triangle's MBR covers (3.9, 2.9) but the polygon does not.
+        assert TRIANGLE.mbr().contains_point(Point(3.9, 2.9))
+        assert not TRIANGLE.contains_point(Point(3.9, 2.9))
+
+    def test_concave_polygon(self):
+        # A "U" shape: the notch is inside the MBR but outside the polygon.
+        u_shape = Polygon([
+            (0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4),
+        ])
+        assert u_shape.contains_point(Point(1, 3))
+        assert u_shape.contains_point(Point(5, 3))
+        assert not u_shape.contains_point(Point(3, 3))  # inside the notch
+
+
+class TestIntersectsPolygon:
+    def test_overlapping(self):
+        other = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert SQUARE.intersects_polygon(other)
+        assert other.intersects_polygon(SQUARE)
+
+    def test_disjoint(self):
+        other = Polygon([(10, 10), (12, 10), (11, 12)])
+        assert not SQUARE.intersects_polygon(other)
+
+    def test_nested(self):
+        inner = Polygon([(1, 1), (2, 1), (2, 2), (1, 2)])
+        assert SQUARE.intersects_polygon(inner)
+        assert inner.intersects_polygon(SQUARE)
+
+    def test_touching_at_edge(self):
+        adjacent = Polygon([(4, 0), (8, 0), (8, 4), (4, 4)])
+        assert SQUARE.intersects_polygon(adjacent)
+
+    def test_disjoint_mbrs_short_circuit(self):
+        far = Polygon([(100, 100), (101, 100), (100, 101)])
+        assert not SQUARE.intersects_polygon(far)
+
+    def test_cross_shape_no_vertices_inside(self):
+        # Horizontal and vertical bars crossing: edges intersect although
+        # neither polygon's vertices lie inside the other.
+        horizontal = Polygon([(0, 2), (10, 2), (10, 3), (0, 3)])
+        vertical = Polygon([(4, 0), (5, 0), (5, 10), (4, 10)])
+        assert horizontal.intersects_polygon(vertical)

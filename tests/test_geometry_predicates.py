@@ -1,0 +1,93 @@
+"""Unit tests for the type-dispatched spatial predicates."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rectangle, contains, distance, intersects, mbr_of
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+class TestMbrOf:
+    def test_point(self):
+        assert mbr_of(Point(1, 2)) == Rectangle(1, 2, 1, 2)
+
+    def test_rectangle(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert mbr_of(r) == r
+
+    def test_polygon(self):
+        assert mbr_of(SQUARE) == Rectangle(0, 0, 4, 4)
+
+    def test_non_geometry_raises(self):
+        with pytest.raises(TypeError):
+            mbr_of("not a geometry")
+
+
+class TestIntersects:
+    def test_point_point(self):
+        assert intersects(Point(1, 1), Point(1, 1))
+        assert not intersects(Point(1, 1), Point(1, 2))
+
+    def test_point_polygon_both_orders(self):
+        assert intersects(Point(2, 2), SQUARE)
+        assert intersects(SQUARE, Point(2, 2))
+        assert not intersects(Point(9, 9), SQUARE)
+
+    def test_rect_rect(self):
+        assert intersects(Rectangle(0, 0, 2, 2), Rectangle(1, 1, 3, 3))
+
+    def test_rect_polygon(self):
+        assert intersects(Rectangle(3, 3, 6, 6), SQUARE)
+        assert intersects(SQUARE, Rectangle(3, 3, 6, 6))
+        assert not intersects(Rectangle(5, 5, 6, 6), SQUARE)
+
+    def test_rect_inside_polygon(self):
+        assert intersects(Rectangle(1, 1, 2, 2), SQUARE)
+
+    def test_polygon_inside_rect(self):
+        assert intersects(Rectangle(-1, -1, 10, 10), SQUARE)
+
+
+class TestContains:
+    def test_polygon_contains_point(self):
+        assert contains(SQUARE, Point(1, 1))
+        assert not contains(SQUARE, Point(5, 5))
+
+    def test_rect_contains_point(self):
+        assert contains(Rectangle(0, 0, 2, 2), Point(1, 1))
+
+    def test_rect_contains_rect(self):
+        assert contains(Rectangle(0, 0, 5, 5), Rectangle(1, 1, 2, 2))
+        assert not contains(Rectangle(0, 0, 5, 5), Rectangle(4, 4, 6, 6))
+
+    def test_polygon_contains_polygon(self):
+        inner = Polygon([(1, 1), (3, 1), (3, 3), (1, 3)])
+        assert contains(SQUARE, inner)
+        assert not contains(inner, SQUARE)
+
+    def test_polygon_does_not_contain_overlapping(self):
+        overlapping = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert not contains(SQUARE, overlapping)
+
+    def test_point_contains_only_equal_point(self):
+        assert contains(Point(1, 1), Point(1, 1))
+        assert not contains(Point(1, 1), Point(2, 2))
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_intersecting_is_zero(self):
+        assert distance(SQUARE, Point(2, 2)) == 0.0
+        assert distance(Rectangle(0, 0, 2, 2), Rectangle(1, 1, 3, 3)) == 0.0
+
+    def test_rect_rect_horizontal_gap(self):
+        assert distance(Rectangle(0, 0, 1, 1), Rectangle(3, 0, 4, 1)) == 2.0
+
+    def test_rect_rect_diagonal_gap(self):
+        assert distance(Rectangle(0, 0, 1, 1), Rectangle(4, 5, 6, 7)) == 5.0
+
+    def test_symmetric(self):
+        a, b = Rectangle(0, 0, 1, 1), Rectangle(10, 2, 11, 3)
+        assert distance(a, b) == distance(b, a)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import pytest
+
+from repro.geometry import Point, Rectangle
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rectangle(0.0, 0.0, 2.0, 3.0)
+        assert r.width == 2.0
+        assert r.height == 3.0
+        assert r.area == 6.0
+
+    def test_degenerate_allowed(self):
+        r = Rectangle(1.0, 1.0, 1.0, 1.0)
+        assert r.area == 0.0
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(2.0, 0.0, 1.0, 1.0)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(0.0, 2.0, 1.0, 1.0)
+
+    def test_center(self):
+        assert Rectangle(0.0, 0.0, 4.0, 2.0).center() == Point(2.0, 1.0)
+
+    def test_mbr_is_self(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert r.mbr() is r
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(1, 1, 3, 3)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_touching_edge(self):
+        # Closed rectangles: sharing an edge counts as intersecting.
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(1, 0, 2, 1)
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(2, 2, 3, 3)
+        assert not a.intersects(b)
+        assert not b.intersects(a)
+
+    def test_disjoint_in_y_only(self):
+        a = Rectangle(0, 0, 10, 1)
+        b = Rectangle(0, 2, 10, 3)
+        assert not a.intersects(b)
+
+    def test_contains_point(self):
+        r = Rectangle(0, 0, 2, 2)
+        assert r.contains_point(Point(1, 1))
+        assert r.contains_point(Point(0, 0))  # boundary inclusive
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.01, 1))
+
+    def test_contains_rectangle(self):
+        outer = Rectangle(0, 0, 10, 10)
+        assert outer.contains_rectangle(Rectangle(1, 1, 9, 9))
+        assert outer.contains_rectangle(outer)
+        assert not outer.contains_rectangle(Rectangle(5, 5, 11, 11))
+
+
+class TestConstructive:
+    def test_union(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(2, 2, 3, 3)
+        assert a.union(b) == Rectangle(0, 0, 3, 3)
+
+    def test_union_commutative(self):
+        a = Rectangle(0, 0, 1, 5)
+        b = Rectangle(-1, 2, 3, 3)
+        assert a.union(b) == b.union(a)
+
+    def test_intersection(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(1, 1, 3, 3)
+        assert a.intersection(b) == Rectangle(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rectangle(0, 0, 1, 1).intersection(Rectangle(5, 5, 6, 6)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        inter = Rectangle(0, 0, 1, 1).intersection(Rectangle(1, 0, 2, 1))
+        assert inter == Rectangle(1, 0, 1, 1)
+        assert inter.area == 0.0
+
+    def test_expand(self):
+        assert Rectangle(1, 1, 2, 2).expand(1.0) == Rectangle(0, 0, 3, 3)
+
+    def test_from_points(self):
+        mbr = Rectangle.from_points([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert mbr == Rectangle(-2, 3, 4, 5)
+
+    def test_from_points_single(self):
+        assert Rectangle.from_points([Point(1, 1)]) == Rectangle(1, 1, 1, 1)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle.from_points([])

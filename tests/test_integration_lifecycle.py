@@ -1,0 +1,103 @@
+"""Integration scenarios spanning the whole database lifecycle."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import JoinLibraryError, PlanError
+from repro.geometry import Point, Polygon
+from repro.joins import SpatialContainsJoin
+
+
+@pytest.fixture()
+def db():
+    db = Database(num_partitions=4)
+    db.execute("CREATE TYPE P { id: int, boundary: geometry }")
+    db.execute("CREATE DATASET Parks(P) PRIMARY KEY id")
+    db.execute("CREATE TYPE F { id: int, location: point }")
+    db.execute("CREATE DATASET Fires(F) PRIMARY KEY id")
+    db.load("Parks", [
+        {"id": i, "boundary": Polygon.regular(Point(i * 10.0, 0.0), 4.0, 6)}
+        for i in range(5)
+    ])
+    db.load("Fires", [
+        {"id": i, "location": Point(i * 2.0, 0.0)} for i in range(25)
+    ])
+    return db
+
+
+SQL = ("SELECT COUNT(1) AS c FROM Parks p, Fires f "
+       "WHERE st_contains(p.boundary, f.location)")
+
+
+class TestJoinLifecycle:
+    def test_plan_changes_with_registration(self, db):
+        # Before CREATE JOIN: st_contains is a scalar builtin -> NLJ.
+        assert "NESTED LOOP" in db.explain(SQL)
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        assert "FUDJ JOIN" in db.explain(SQL)
+        db.drop_join("st_contains")
+        assert "NESTED LOOP" in db.explain(SQL)
+
+    def test_results_identical_across_lifecycle(self, db):
+        before = db.execute(SQL).rows
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        with_fudj = db.execute(SQL).rows
+        db.drop_join("st_contains")
+        after = db.execute(SQL).rows
+        assert before == with_fudj == after
+        assert before[0]["c"] > 0
+
+    def test_reregistration_with_new_defaults(self, db):
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(2,))
+        coarse = db.execute(SQL)
+        db.drop_join("st_contains")
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(32,))
+        fine = db.execute(SQL)
+        assert coarse.rows == fine.rows
+
+    def test_incremental_loading(self, db):
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        first = db.execute(SQL).rows[0]["c"]
+        db.load("Fires", [{"id": 100 + i, "location": Point(i * 2.0, 0.0)}
+                          for i in range(25)])
+        second = db.execute(SQL).rows[0]["c"]
+        assert second == 2 * first
+
+    def test_drop_and_recreate_dataset(self, db):
+        db.execute("DROP DATASET Fires")
+        with pytest.raises(Exception):
+            db.execute(SQL)
+        db.execute("CREATE DATASET Fires(F) PRIMARY KEY id")
+        db.load("Fires", [{"id": 1, "location": Point(0.0, 0.0)}])
+        assert db.execute(SQL).rows[0]["c"] >= 1
+
+
+class TestMixedQueries:
+    def test_join_feeding_aggregation_pipeline(self, db):
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        result = db.execute(
+            "SELECT p.id, COUNT(1) AS n FROM Parks p, Fires f "
+            "WHERE st_contains(p.boundary, f.location) "
+            "GROUP BY p.id HAVING COUNT(1) >= 2 "
+            "ORDER BY n DESC, p.id LIMIT 3"
+        )
+        counts = result.column("n")
+        assert counts == sorted(counts, reverse=True)
+        assert all(c >= 2 for c in counts)
+
+    def test_same_session_multiple_modes(self, db):
+        from repro.builtin import install_builtin_joins
+
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        install_builtin_joins(db, spatial_n=8)
+        rows = {mode: db.execute(SQL, mode=mode).rows
+                for mode in ("fudj", "builtin", "ontop")}
+        assert rows["fudj"] == rows["builtin"] == rows["ontop"]
+
+    def test_two_different_joins_registered(self, db):
+        from repro.joins import TextSimilarityJoin
+
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(8,))
+        db.create_join("similarity_jaccard", TextSimilarityJoin)
+        assert sorted(db.joins.names()) == ["similarity_jaccard", "st_contains"]
+        assert "FUDJ JOIN" in db.explain(SQL)

@@ -1,0 +1,80 @@
+"""Unit tests for the interval substrate."""
+
+import pytest
+
+from repro.interval import Interval, intervals_overlap
+
+
+class TestConstruction:
+    def test_valid(self):
+        i = Interval(1.0, 3.0)
+        assert i.start == 1.0
+        assert i.end == 3.0
+        assert i.length == 2.0
+
+    def test_zero_length_allowed(self):
+        assert Interval(2.0, 2.0).length == 0.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_ordering(self):
+        assert Interval(1, 2) < Interval(1, 3) < Interval(2, 2)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Interval(0, 1).start = 5
+
+    def test_as_tuple(self):
+        assert Interval(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Interval(0, 5).overlaps(Interval(3, 8))
+        assert Interval(3, 8).overlaps(Interval(0, 5))
+
+    def test_nested(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+        assert Interval(3, 4).overlaps(Interval(0, 10))
+
+    def test_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_touching_endpoints_do_not_overlap(self):
+        # Paper semantics: i1.start < i2.end AND i1.end > i2.start (strict).
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+        assert not Interval(1, 2).overlaps(Interval(0, 1))
+
+    def test_identical(self):
+        assert Interval(1, 2).overlaps(Interval(1, 2))
+
+    def test_zero_length_inside(self):
+        # A zero-length interval strictly inside another overlaps it.
+        assert Interval(0, 10).overlaps(Interval(5, 5))
+        assert Interval(5, 5).overlaps(Interval(0, 10))
+
+    def test_zero_length_vs_zero_length(self):
+        assert not Interval(5, 5).overlaps(Interval(5, 5))
+
+    def test_module_level_alias(self):
+        assert intervals_overlap(Interval(0, 5), Interval(4, 9))
+
+
+class TestOperations:
+    def test_contains_point(self):
+        i = Interval(1, 3)
+        assert i.contains_point(1)
+        assert i.contains_point(3)
+        assert i.contains_point(2)
+        assert not i.contains_point(0.9)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(10) == Interval(11, 12)

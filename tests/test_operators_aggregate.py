@@ -1,0 +1,165 @@
+"""Unit tests for aggregation operators and aggregate specs."""
+
+import pytest
+
+from repro.engine import Cluster, Schema
+from repro.engine.executor import execute_plan
+from repro.engine.operators import (
+    AvgAgg,
+    CountAgg,
+    GroupBy,
+    MaxAgg,
+    MinAgg,
+    ScalarAggregate,
+    Scan,
+    SumAgg,
+)
+from repro.serde.values import unbox
+
+
+def make_cluster(rows, partitions=4):
+    cluster = Cluster(num_partitions=partitions)
+    ds = cluster.create_dataset("t", Schema(["id", "grp", "value"]), "id")
+    ds.bulk_load(rows)
+    return cluster
+
+
+ROWS = [
+    {"id": i, "grp": i % 3, "value": float(i)}
+    for i in range(30)
+]
+
+
+def value_of(record):
+    return unbox(record["a.value"])
+
+
+def group_of(record):
+    return unbox(record["a.grp"])
+
+
+class TestAggregateSpecs:
+    def test_count_ignores_nulls_with_argument(self):
+        agg = CountAgg("c", lambda r: r)
+        state = agg.init()
+        state = agg.add(state, 1)
+        state = agg.add(state, None)
+        state = agg.add(state, 2)
+        assert agg.result(state) == 2
+
+    def test_count_star_counts_everything(self):
+        agg = CountAgg("c")
+        state = agg.init()
+        for value in (1, None, 3):
+            state = agg.add(state, value)
+        assert agg.result(state) == 3
+
+    def test_sum_skips_nulls(self):
+        agg = SumAgg("s", lambda r: r)
+        state = agg.init()
+        for value in (1, None, 4):
+            state = agg.add(state, value)
+        assert agg.result(state) == 5
+
+    def test_sum_all_nulls_is_null(self):
+        agg = SumAgg("s", lambda r: r)
+        state = agg.init()
+        state = agg.add(state, None)
+        assert agg.result(state) is None
+
+    def test_avg_merges_exactly(self):
+        agg = AvgAgg("a", lambda r: r)
+        s1 = agg.init()
+        for value in (1.0, 2.0):
+            s1 = agg.add(s1, value)
+        s2 = agg.init()
+        for value in (3.0, 4.0, 5.0):
+            s2 = agg.add(s2, value)
+        merged = agg.merge(s1, s2)
+        assert agg.result(merged) == 3.0
+
+    def test_avg_of_nothing_is_null(self):
+        agg = AvgAgg("a", lambda r: r)
+        assert agg.result(agg.init()) is None
+
+    def test_min_max(self):
+        min_agg = MinAgg("m", lambda r: r)
+        max_agg = MaxAgg("m", lambda r: r)
+        s_min, s_max = min_agg.init(), max_agg.init()
+        for value in (5, 2, None, 9):
+            s_min = min_agg.add(s_min, value)
+            s_max = max_agg.add(s_max, value)
+        assert min_agg.result(s_min) == 2
+        assert max_agg.result(s_max) == 9
+
+    def test_merge_with_empty_partial(self):
+        agg = MinAgg("m", lambda r: r)
+        assert agg.merge(None, 3) == 3
+        assert agg.merge(3, None) == 3
+
+
+class TestScalarAggregate:
+    def test_count_all(self):
+        cluster = make_cluster(ROWS)
+        plan = ScalarAggregate(Scan("t", "a"), [CountAgg("c")])
+        result = execute_plan(plan, cluster)
+        assert result.rows == [{"c": 30}]
+
+    def test_multiple_aggregates(self):
+        cluster = make_cluster(ROWS)
+        plan = ScalarAggregate(
+            Scan("t", "a"),
+            [CountAgg("c"), SumAgg("s", value_of), MaxAgg("mx", value_of)],
+        )
+        result = execute_plan(plan, cluster)
+        assert result.rows == [{"c": 30, "s": sum(float(i) for i in range(30)),
+                                "mx": 29.0}]
+
+    def test_empty_input(self):
+        cluster = make_cluster([])
+        plan = ScalarAggregate(Scan("t", "a"), [CountAgg("c"), SumAgg("s", value_of)])
+        result = execute_plan(plan, cluster)
+        assert result.rows == [{"c": 0, "s": None}]
+
+
+class TestGroupBy:
+    def test_counts_per_group(self):
+        cluster = make_cluster(ROWS)
+        plan = GroupBy(Scan("t", "a"), [("g", group_of)], [CountAgg("c")])
+        result = execute_plan(plan, cluster)
+        assert sorted((row["g"], row["c"]) for row in result.rows) == [
+            (0, 10), (1, 10), (2, 10),
+        ]
+
+    def test_sum_per_group(self):
+        cluster = make_cluster(ROWS)
+        plan = GroupBy(Scan("t", "a"), [("g", group_of)],
+                       [SumAgg("s", value_of)])
+        result = execute_plan(plan, cluster)
+        expected = {g: sum(float(i) for i in range(30) if i % 3 == g)
+                    for g in range(3)}
+        assert {row["g"]: row["s"] for row in result.rows} == expected
+
+    def test_multi_key_grouping(self):
+        rows = [{"id": i, "grp": i % 2, "value": float(i % 4)} for i in range(16)]
+        cluster = make_cluster(rows)
+        plan = GroupBy(
+            Scan("t", "a"),
+            [("g", group_of), ("v", value_of)],
+            [CountAgg("c")],
+        )
+        result = execute_plan(plan, cluster)
+        assert len(result) == 4  # (0,0),(0,2),(1,1),(1,3)
+        assert all(row["c"] == 4 for row in result.rows)
+
+    def test_single_group(self):
+        rows = [{"id": i, "grp": 1, "value": 1.0} for i in range(10)]
+        cluster = make_cluster(rows)
+        plan = GroupBy(Scan("t", "a"), [("g", group_of)], [CountAgg("c")])
+        result = execute_plan(plan, cluster)
+        assert result.rows == [{"g": 1, "c": 10}]
+
+    def test_empty_input(self):
+        cluster = make_cluster([])
+        plan = GroupBy(Scan("t", "a"), [("g", group_of)], [CountAgg("c")])
+        assert len(execute_plan(plan, cluster)) == 0

@@ -1,0 +1,141 @@
+"""Unit tests for hash join, nested-loop join, and sort."""
+
+from repro.engine import Cluster, Schema
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute_plan
+from repro.engine.operators import BlockNestedLoopJoin, HashJoin, Scan, Sort
+from repro.serde.values import unbox
+
+
+def make_cluster():
+    cluster = Cluster(num_partitions=4)
+    left = cluster.create_dataset("L", Schema(["id", "k"]), "id")
+    left.bulk_load({"id": i, "k": i % 5} for i in range(20))
+    right = cluster.create_dataset("R", Schema(["id", "k"]), "id")
+    right.bulk_load({"id": i, "k": i % 5} for i in range(10))
+    return cluster
+
+
+def lkey(record):
+    return unbox(record["l.k"])
+
+
+def rkey(record):
+    return unbox(record["r.k"])
+
+
+class TestHashJoin:
+    def test_equi_join_matches_ground_truth(self):
+        cluster = make_cluster()
+        plan = HashJoin(Scan("L", "l"), Scan("R", "r"), lkey, rkey)
+        result = execute_plan(plan, cluster)
+        expected = {
+            (li, ri)
+            for li in range(20)
+            for ri in range(10)
+            if li % 5 == ri % 5
+        }
+        got = {(row["l.id"], row["r.id"]) for row in result.rows}
+        assert got == expected
+
+    def test_output_schema_concatenates(self):
+        cluster = make_cluster()
+        plan = HashJoin(Scan("L", "l"), Scan("R", "r"), lkey, rkey)
+        result = execute_plan(plan, cluster)
+        assert result.schema == ("l.id", "l.k", "r.id", "r.k")
+
+    def test_residual_filters_pairs(self):
+        cluster = make_cluster()
+        plan = HashJoin(
+            Scan("L", "l"), Scan("R", "r"), lkey, rkey,
+            residual=lambda rec: unbox(rec["l.id"]) < 5,
+        )
+        result = execute_plan(plan, cluster)
+        assert all(row["l.id"] < 5 for row in result.rows)
+        assert len(result) > 0
+
+    def test_no_matches(self):
+        cluster = Cluster(num_partitions=2)
+        cluster.create_dataset("L", Schema(["id", "k"]), "id").bulk_load(
+            [{"id": 1, "k": 1}]
+        )
+        cluster.create_dataset("R", Schema(["id", "k"]), "id").bulk_load(
+            [{"id": 1, "k": 2}]
+        )
+        plan = HashJoin(Scan("L", "l"), Scan("R", "r"), lkey, rkey)
+        assert len(execute_plan(plan, cluster)) == 0
+
+    def test_charges_shuffle_bytes(self):
+        cluster = make_cluster()
+        op = HashJoin(Scan("L", "l"), Scan("R", "r"), lkey, rkey)
+        ctx = ExecutionContext(cluster)
+        op.execute(ctx)
+        assert ctx.metrics.total_network_bytes() > 0
+
+
+class TestBlockNestedLoopJoin:
+    def test_theta_predicate(self):
+        cluster = make_cluster()
+        plan = BlockNestedLoopJoin(
+            Scan("L", "l"), Scan("R", "r"),
+            lambda rec: unbox(rec["l.id"]) < unbox(rec["r.id"]),
+        )
+        result = execute_plan(plan, cluster)
+        expected = {(li, ri) for li in range(20) for ri in range(10) if li < ri}
+        assert {(row["l.id"], row["r.id"]) for row in result.rows} == expected
+
+    def test_comparison_count_is_cross_product(self):
+        cluster = make_cluster()
+        op = BlockNestedLoopJoin(Scan("L", "l"), Scan("R", "r"), lambda rec: False)
+        ctx = ExecutionContext(cluster)
+        op.execute(ctx)
+        assert ctx.metrics.comparisons == 20 * 10
+
+    def test_spread_left_balances(self):
+        cluster = make_cluster()
+        op = BlockNestedLoopJoin(
+            Scan("L", "l"), Scan("R", "r"), lambda rec: True, spread_left=True
+        )
+        result = execute_plan(op, cluster)
+        assert len(result) == 200
+
+    def test_broadcast_bytes_charged(self):
+        cluster = make_cluster()
+        op = BlockNestedLoopJoin(Scan("L", "l"), Scan("R", "r"), lambda rec: False)
+        ctx = ExecutionContext(cluster)
+        op.execute(ctx)
+        bcast = ctx.metrics.stage(f"{op.stage_name}/broadcast")
+        assert bcast.fabric_bytes > 0
+
+
+class TestSort:
+    def test_ascending(self):
+        cluster = make_cluster()
+        plan = Sort(Scan("L", "l"), [(lambda r: unbox(r["l.id"]), False)])
+        result = execute_plan(plan, cluster)
+        assert [row["l.id"] for row in result.rows] == list(range(20))
+
+    def test_descending(self):
+        cluster = make_cluster()
+        plan = Sort(Scan("L", "l"), [(lambda r: unbox(r["l.id"]), True)])
+        result = execute_plan(plan, cluster)
+        assert [row["l.id"] for row in result.rows] == list(range(19, -1, -1))
+
+    def test_multi_key(self):
+        cluster = make_cluster()
+        plan = Sort(
+            Scan("L", "l"),
+            [(lambda r: unbox(r["l.k"]), False),
+             (lambda r: unbox(r["l.id"]), True)],
+        )
+        result = execute_plan(plan, cluster)
+        rows = [(row["l.k"], row["l.id"]) for row in result.rows]
+        assert rows == sorted(rows, key=lambda t: (t[0], -t[1]))
+
+    def test_none_sorts_first(self):
+        cluster = Cluster(num_partitions=2)
+        ds = cluster.create_dataset("T", Schema(["id", "v"]), "id")
+        ds.bulk_load([{"id": 1, "v": 5}, {"id": 2, "v": None}, {"id": 3, "v": 1}])
+        plan = Sort(Scan("T", "t"), [(lambda r: unbox(r["t.v"]), False)])
+        result = execute_plan(plan, cluster)
+        assert result.column("t.v") == [None, 1, 5]

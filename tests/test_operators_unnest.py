@@ -1,0 +1,76 @@
+"""Unit tests for the UNNEST operator."""
+
+import pytest
+
+from repro.engine import Cluster, Schema
+from repro.engine.executor import execute_plan
+from repro.engine.operators import Scan
+from repro.engine.operators.unnest import Unnest
+from repro.errors import ExecutionError
+from repro.serde.values import unbox
+
+
+def make_cluster(rows):
+    cluster = Cluster(num_partitions=3)
+    ds = cluster.create_dataset("T", Schema(["id", "tags"]), "id")
+    ds.bulk_load(rows)
+    return cluster
+
+
+def tags_of(record):
+    return unbox(record["t.tags"])
+
+
+class TestUnnest:
+    def test_expands_lists(self):
+        cluster = make_cluster([
+            {"id": 1, "tags": ["a", "b"]},
+            {"id": 2, "tags": ["c"]},
+        ])
+        plan = Unnest(Scan("T", "t"), tags_of, "tag")
+        result = execute_plan(plan, cluster)
+        pairs = sorted((row["t.id"], row["tag"]) for row in result.rows)
+        assert pairs == [(1, "a"), (1, "b"), (2, "c")]
+
+    def test_schema_appends_field(self):
+        cluster = make_cluster([{"id": 1, "tags": ["x"]}])
+        result = execute_plan(Unnest(Scan("T", "t"), tags_of, "tag"), cluster)
+        assert result.schema == ("t.id", "t.tags", "tag")
+
+    def test_empty_list_drops_record(self):
+        cluster = make_cluster([
+            {"id": 1, "tags": []},
+            {"id": 2, "tags": ["k"]},
+        ])
+        result = execute_plan(Unnest(Scan("T", "t"), tags_of, "tag"), cluster)
+        assert result.column("t.id") == [2]
+
+    def test_none_drops_record(self):
+        cluster = make_cluster([{"id": 1, "tags": ["a"]}])
+        plan = Unnest(Scan("T", "t"), lambda r: None, "tag")
+        assert len(execute_plan(plan, cluster)) == 0
+
+    def test_computed_lists(self):
+        cluster = make_cluster([{"id": 3, "tags": ["unused"]}])
+        plan = Unnest(Scan("T", "t"),
+                      lambda r: range(unbox(r["t.id"])), "n")
+        result = execute_plan(plan, cluster)
+        assert sorted(result.column("n")) == [0, 1, 2]
+
+    def test_duplicate_field_rejected(self):
+        cluster = make_cluster([{"id": 1, "tags": ["a"]}])
+        plan = Unnest(Scan("T", "t"), tags_of, "t.id")
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, cluster)
+
+    def test_charges_per_input_and_output(self):
+        from repro.engine.context import ExecutionContext
+
+        cluster = make_cluster([{"id": 1, "tags": list("abcd")}])
+        op = Unnest(Scan("T", "t"), tags_of, "tag")
+        ctx = ExecutionContext(cluster)
+        op.execute(ctx)
+        stage = ctx.metrics.stage(op.stage_name)
+        assert stage.records_in == 1
+        assert stage.records_out == 4
+        assert stage.total_units() > 0

@@ -1,0 +1,102 @@
+"""Optimizer corner cases: pure cross products, multi-way FROM lists,
+ORDER BY over aggregates, and mode interactions."""
+
+import pytest
+
+from repro.database import Database
+
+
+@pytest.fixture()
+def db():
+    db = Database(num_partitions=3)
+    db.execute("CREATE TYPE T { id: int, g: int }")
+    for name in ("A", "B", "C"):
+        db.execute(f"CREATE DATASET {name}(T) PRIMARY KEY id")
+        db.load(name, [{"id": i, "g": i % 2} for i in range(4)])
+    return db
+
+
+class TestCrossProducts:
+    def test_pure_cartesian(self, db):
+        result = db.execute("SELECT COUNT(1) AS n FROM A a, B b")
+        assert result.rows == [{"n": 16}]
+
+    def test_three_way_cartesian(self, db):
+        result = db.execute("SELECT COUNT(1) AS n FROM A a, B b, C c")
+        assert result.rows == [{"n": 64}]
+
+    def test_cartesian_with_constant_filter(self, db):
+        none = db.execute("SELECT COUNT(1) AS n FROM A a, B b WHERE 1 = 2")
+        assert none.rows == [{"n": 0}]
+        all_rows = db.execute("SELECT COUNT(1) AS n FROM A a, B b WHERE 1 = 1")
+        assert all_rows.rows == [{"n": 16}]
+
+    def test_mixed_join_and_cartesian(self, db):
+        # A joins B on g; C is a plain cross product on top.
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM A a, B b, C c WHERE a.g = b.g"
+        )
+        assert result.rows == [{"n": 8 * 4}]
+
+
+class TestThreeWayJoins:
+    def test_chain_of_equi_joins(self, db):
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM A a, B b, C c "
+            "WHERE a.g = b.g AND b.id = c.id"
+        )
+        # a.g = b.g: 8 pairs; each b matches exactly one c by id.
+        assert result.rows == [{"n": 8}]
+
+    def test_plan_places_each_condition(self, db):
+        plan = db.explain(
+            "SELECT a.id FROM A a, B b, C c WHERE a.g = b.g AND b.id = c.id"
+        )
+        assert plan.count("HASH JOIN") == 2
+
+    def test_condition_spanning_outer_tables(self, db):
+        # a-c condition can only be placed at the top join.
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM A a, B b, C c "
+            "WHERE a.id = b.id AND a.g = c.g"
+        )
+        assert result.rows == [{"n": 4 * 2}]
+
+
+class TestOrderByCorners:
+    def test_order_by_aggregate_alias(self, db):
+        result = db.execute(
+            "SELECT a.g, COUNT(1) AS n FROM A a GROUP BY a.g ORDER BY n DESC"
+        )
+        counts = result.column("n")
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_by_group_key(self, db):
+        result = db.execute(
+            "SELECT a.g, COUNT(1) AS n FROM A a GROUP BY a.g ORDER BY a.g"
+        )
+        assert result.column("a.g") == [0, 1]
+
+    def test_order_by_untouched_column_before_projection(self, db):
+        result = db.execute("SELECT a.id FROM A a ORDER BY a.g DESC, a.id")
+        assert result.column("a.id") == [1, 3, 0, 2]
+
+    def test_limit_zero_after_sort(self, db):
+        assert len(db.execute("SELECT a.id FROM A a ORDER BY a.id LIMIT 0")) == 0
+
+
+class TestModeInteractions:
+    def test_equi_join_identical_in_all_modes(self, db):
+        sql = "SELECT COUNT(1) AS n FROM A a, B b WHERE a.id = b.id"
+        # No FUDJ predicate involved: every mode plans the same hash join.
+        for mode in ("fudj", "ontop"):
+            assert db.execute(sql, mode=mode).rows == [{"n": 4}]
+        assert "HASH JOIN" in db.explain(sql, mode="ontop")
+
+    def test_builtin_mode_without_fudj_predicates(self, db):
+        sql = "SELECT COUNT(1) AS n FROM A a, B b WHERE a.id = b.id"
+        assert db.execute(sql, mode="builtin").rows == [{"n": 4}]
+
+    def test_explain_modes_differ_only_with_fudj(self, db):
+        sql = "SELECT COUNT(1) AS n FROM A a, B b WHERE a.id = b.id"
+        assert db.explain(sql, mode="fudj") == db.explain(sql, mode="ontop")

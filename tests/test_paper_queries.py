@@ -1,0 +1,155 @@
+"""End-to-end tests of the paper's motivating queries (Queries 1-3).
+
+These run the actual SQL from the introduction (adapted to the synthetic
+schemas) in FUDJ mode and cross-check against on-top NLJ execution.
+"""
+
+import random
+
+import pytest
+
+from repro.database import Database
+from repro.geometry import Point, Polygon
+from repro.interval import Interval
+from repro.joins import IntervalJoin, SpatialContainsJoin, TextSimilarityJoin
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(99)
+    db = Database(num_partitions=4)
+    db.execute("CREATE TYPE Parks_Type { id: int, boundary: geometry, "
+               "tags: string }")
+    db.execute("CREATE DATASET Parks(Parks_Type) PRIMARY KEY id")
+    db.execute("CREATE TYPE Wildfire_Type { id: int, lat: double, lon: double, "
+               "fire_start: double, fire_end: double }")
+    db.execute("CREATE DATASET Wildfires(Wildfire_Type) PRIMARY KEY id")
+    db.execute("CREATE TYPE Weather_Type { id: int, location: point, "
+               "reading_interval: interval, temp: int }")
+    db.execute("CREATE DATASET Weather(Weather_Type) PRIMARY KEY id")
+
+    tags = ["river", "scenic", "camping", "hiking", "lake", "forest"]
+    db.load("Parks", [
+        {
+            "id": i,
+            "boundary": Polygon.regular(
+                Point(rng.uniform(0, 60), rng.uniform(0, 60)),
+                rng.uniform(2, 8), rng.randint(4, 8),
+            ),
+            "tags": " ".join(rng.sample(tags, rng.randint(2, 4))),
+        }
+        for i in range(25)
+    ])
+    db.load("Wildfires", [
+        {
+            "id": i,
+            "lat": rng.uniform(0, 60),
+            "lon": rng.uniform(0, 60),
+            "fire_start": (start := rng.uniform(0, 300)),
+            "fire_end": start + rng.uniform(1, 30),
+        }
+        for i in range(150)
+    ])
+    db.load("Weather", [
+        {
+            "id": i,
+            "location": Point(rng.uniform(0, 60), rng.uniform(0, 60)),
+            "reading_interval": Interval(s := rng.uniform(0, 320), s + 12.0),
+            "temp": rng.randint(-10, 45),
+        }
+        for i in range(150)
+    ])
+
+    db.create_join("st_contains", SpatialContainsJoin, defaults=(12,))
+    db.create_join("similarity_jaccard", TextSimilarityJoin)
+    db.create_join("interval_overlapping", IntervalJoin, defaults=(40,))
+    return db
+
+
+def normalized(result):
+    return sorted(tuple(sorted(row.items())) for row in result.rows)
+
+
+QUERY1 = (
+    "SELECT p.id, COUNT(w.id) AS num_fires "
+    "FROM Parks p, Wildfires w "
+    "WHERE ST_Contains(p.boundary, ST_MakePoint(w.lat, w.lon)) "
+    "AND w.fire_start >= 50.0 "
+    "GROUP BY p.id ORDER BY num_fires DESC"
+)
+
+QUERY2 = (
+    "SELECT dp.id AS park_id, p.id AS other_id, "
+    "similarity_jaccard(dp.tags, p.tags) AS sim "
+    "FROM Parks dp, Parks p "
+    "WHERE dp.id <> p.id AND similarity_jaccard(dp.tags, p.tags) >= 0.5 "
+    "ORDER BY park_id, sim"
+)
+
+QUERY3 = (
+    "SELECT w.id AS fire_id, AVG(s.temp) AS avg_temp "
+    "FROM Parks p, Weather s, Wildfires w "
+    "WHERE ST_Contains(p.boundary, s.location) "
+    "AND interval_overlapping(interval(w.fire_start, w.fire_end), "
+    "s.reading_interval) "
+    "AND st_distance(ST_MakePoint(w.lat, w.lon), s.location) < 10 "
+    "GROUP BY w.id"
+)
+
+
+class TestQuery1Spatial:
+    def test_uses_fudj_plan(self, db):
+        assert "FUDJ JOIN [spatial-contains]" in db.explain(QUERY1, mode="fudj")
+
+    def test_pushes_fire_start_filter(self, db):
+        plan = db.explain(QUERY1, mode="fudj")
+        lines = plan.splitlines()
+        join_at = next(i for i, l in enumerate(lines) if "FUDJ" in l)
+        filter_at = next(i for i, l in enumerate(lines) if "fire_start" in l)
+        assert filter_at > join_at
+
+    def test_matches_ontop(self, db):
+        fudj = db.execute(QUERY1, mode="fudj")
+        ontop = db.execute(QUERY1, mode="ontop")
+        assert normalized(fudj) == normalized(ontop)
+        assert len(fudj) > 0
+
+    def test_order_by_descending(self, db):
+        counts = db.execute(QUERY1, mode="fudj").column("num_fires")
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestQuery2TextSimilarity:
+    def test_uses_fudj_plan(self, db):
+        assert "FUDJ JOIN [text-similarity]" in db.explain(QUERY2, mode="fudj")
+
+    def test_matches_ontop(self, db):
+        fudj = db.execute(QUERY2, mode="fudj")
+        ontop = db.execute(QUERY2, mode="ontop")
+        assert normalized(fudj) == normalized(ontop)
+        assert len(fudj) > 0
+
+    def test_no_self_pairs(self, db):
+        result = db.execute(QUERY2, mode="fudj")
+        assert all(row["park_id"] != row["other_id"] for row in result.rows)
+
+    def test_similarity_above_threshold(self, db):
+        result = db.execute(QUERY2, mode="fudj")
+        assert all(row["sim"] >= 0.5 for row in result.rows)
+
+
+class TestQuery3Combined:
+    def test_plan_has_two_fudj_joins(self, db):
+        plan = db.explain(QUERY3, mode="fudj")
+        assert plan.count("FUDJ JOIN") == 2
+        assert "spatial-contains" in plan
+        assert "interval" in plan
+
+    def test_distance_residual_applied_on_top(self, db):
+        plan = db.explain(QUERY3, mode="fudj")
+        assert "st_distance" in plan
+
+    def test_matches_ontop(self, db):
+        fudj = db.execute(QUERY3, mode="fudj")
+        ontop = db.execute(QUERY3, mode="ontop")
+        assert normalized(fudj) == normalized(ontop)

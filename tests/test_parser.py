@@ -1,0 +1,217 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+)
+from repro.query.logical import (
+    CreateDatasetStatement,
+    CreateJoinStatement,
+    CreateTypeStatement,
+    DropDatasetStatement,
+    DropJoinStatement,
+    SelectStatement,
+)
+from repro.query.parser import parse_statement, tokenize_sql
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("SELECT select SeLeCt")
+        assert all(t.kind == "keyword" and t.text == "select"
+                   for t in tokens[:-1])
+
+    def test_comments_skipped(self):
+        tokens = tokenize_sql("SELECT -- comment\n x /* block */ FROM t")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["select", "x", "from", "t"]
+
+    def test_strings(self):
+        tokens = tokenize_sql("'it''s' \"double\"")
+        assert tokens[0].kind == "string"
+        assert tokens[1].kind == "string"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize_sql("SELECT @")
+
+    def test_numbers(self):
+        tokens = tokenize_sql("1 2.5 .75")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", ".75"]
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT x FROM t")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.items[0].expr == Column("x")
+        assert stmt.tables[0].dataset == "t"
+        assert stmt.tables[0].alias == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT p.id AS pid FROM Parks p")
+        assert stmt.items[0].alias == "pid"
+        assert stmt.tables[0].alias == "p"
+
+    def test_alias_without_as(self):
+        stmt = parse_statement("SELECT p.id pid FROM Parks AS p")
+        assert stmt.items[0].alias == "pid"
+        assert stmt.tables[0].alias == "p"
+
+    def test_multiple_tables(self):
+        stmt = parse_statement("SELECT a.x FROM t1 a, t2 b, t3 c")
+        assert [t.alias for t in stmt.tables] == ["a", "b", "c"]
+
+    def test_where_conjunction(self):
+        stmt = parse_statement("SELECT x FROM t WHERE a = 1 AND b > 2")
+        assert isinstance(stmt.where, And)
+
+    def test_or_and_precedence(self):
+        stmt = parse_statement("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: a=1 OR (b=2 AND c=3).
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.right, And)
+
+    def test_not(self):
+        stmt = parse_statement("SELECT x FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_group_by(self):
+        stmt = parse_statement("SELECT g, COUNT(1) c FROM t GROUP BY g")
+        assert stmt.group_by == [Column("g")]
+
+    def test_order_by_directions(self):
+        stmt = parse_statement("SELECT x FROM t ORDER BY a DESC, b ASC, c")
+        assert [(str(e), d) for e, d in stmt.order_by] == [
+            ("a", True), ("b", False), ("c", False),
+        ]
+
+    def test_limit(self):
+        assert parse_statement("SELECT x FROM t LIMIT 5").limit == 5
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FunctionCall)
+        assert call.name == "count"
+        assert call.args == []
+
+    def test_nested_function_calls(self):
+        stmt = parse_statement(
+            "SELECT x FROM t WHERE st_contains(p, st_makepoint(a, b))"
+        )
+        call = stmt.where
+        assert call.name == "st_contains"
+        assert call.args[1].name == "st_makepoint"
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            stmt = parse_statement(f"SELECT x FROM t WHERE a {op} 1")
+            assert isinstance(stmt.where, Comparison)
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT x FROM t WHERE a + b * c = 7")
+        comparison = stmt.where
+        assert isinstance(comparison.left, Arithmetic)
+        assert comparison.left.op == "+"
+        assert comparison.left.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse_statement("SELECT x FROM t WHERE (a + b) * c = 7")
+        assert stmt.where.left.op == "*"
+
+    def test_literals(self):
+        stmt = parse_statement(
+            "SELECT x FROM t WHERE a = 'text' AND b = 1.5 AND c = true "
+            "AND d = null AND e = -3"
+        )
+        literals = []
+
+        def collect(expr):
+            if isinstance(expr, Literal):
+                literals.append(expr.value)
+            for attr in ("left", "right", "child"):
+                sub = getattr(expr, attr, None)
+                if sub is not None:
+                    collect(sub)
+
+        collect(stmt.where)
+        assert "text" in literals
+        assert 1.5 in literals
+        assert True in literals
+        assert None in literals
+        assert -3 in literals
+
+    def test_trailing_semicolon(self):
+        parse_statement("SELECT x FROM t;")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT x FROM t garbage extra ,")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT x")
+
+
+class TestDdlParsing:
+    def test_create_type(self):
+        stmt = parse_statement(
+            "CREATE TYPE Park { id: uuid, boundary: geometry, tags: string }"
+        )
+        assert isinstance(stmt, CreateTypeStatement)
+        assert stmt.name == "Park"
+        assert stmt.fields == [("id", "uuid"), ("boundary", "geometry"),
+                               ("tags", "string")]
+
+    def test_create_dataset(self):
+        stmt = parse_statement("CREATE DATASET Parks(Park) PRIMARY KEY id")
+        assert isinstance(stmt, CreateDatasetStatement)
+        assert stmt.name == "Parks"
+        assert stmt.type_name == "Park"
+        assert stmt.primary_key == "id"
+
+    def test_create_join_full_form(self):
+        # Paper Query 4, verbatim shape.
+        stmt = parse_statement(
+            'CREATE JOIN text_similarity_join(a: string, b: string, t: double) '
+            'RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins'
+        )
+        assert isinstance(stmt, CreateJoinStatement)
+        assert stmt.name == "text_similarity_join"
+        assert stmt.params == [("a", "string"), ("b", "string"), ("t", "double")]
+        assert stmt.class_path == "setsimilarity.SetSimilarityJoin"
+        assert stmt.library == "flexiblejoins"
+
+    def test_create_join_without_library(self):
+        stmt = parse_statement(
+            'CREATE JOIN j(a: int, b: int) RETURNS boolean AS "m.Cls"'
+        )
+        assert stmt.library == ""
+
+    def test_drop_join_with_signature(self):
+        stmt = parse_statement(
+            "DROP JOIN text_similarity_join(a: string, b: string, t: double)"
+        )
+        assert isinstance(stmt, DropJoinStatement)
+        assert stmt.name == "text_similarity_join"
+
+    def test_drop_join_bare(self):
+        assert parse_statement("DROP JOIN j").name == "j"
+
+    def test_drop_dataset(self):
+        stmt = parse_statement("DROP DATASET Parks")
+        assert isinstance(stmt, DropDatasetStatement)
+
+    def test_create_unknown_object(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE INDEX foo")

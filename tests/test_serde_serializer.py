@@ -1,0 +1,93 @@
+"""Unit tests for the binary wire format."""
+
+import pytest
+
+from repro.errors import SerdeError
+from repro.geometry import Point, Polygon, Rectangle
+from repro.interval import Interval
+from repro.serde import box, deserialize_value, serialize_value, serialized_size
+
+
+def roundtrip(value):
+    boxed = box(value)
+    buf = bytearray()
+    serialize_value(boxed, buf)
+    decoded, offset = deserialize_value(bytes(buf))
+    assert offset == len(buf)
+    return decoded.to_python()
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 40,
+        -(2 ** 40),
+        0.0,
+        -1.5,
+        3.141592653589793,
+        "",
+        "hello",
+        "unicode: żółć 漢字",
+        "quote 'inside'",
+    ])
+    def test_scalars(self, value):
+        assert roundtrip(value) == value
+
+    def test_point(self):
+        assert roundtrip(Point(1.25, -2.5)) == Point(1.25, -2.5)
+
+    def test_rectangle(self):
+        r = Rectangle(0.0, -1.0, 2.5, 3.5)
+        assert roundtrip(r) == r
+
+    def test_polygon(self):
+        poly = Polygon([(0, 0), (4, 0), (2, 3.5)])
+        assert roundtrip(poly) == poly
+
+    def test_interval(self):
+        assert roundtrip(Interval(1.5, 9.5)) == Interval(1.5, 9.5)
+
+    def test_list(self):
+        assert roundtrip([1, "two", 3.0]) == [1, "two", 3.0]
+
+    def test_nested_list(self):
+        assert roundtrip([[1, 2], ["a"]]) == [[1, 2], ["a"]]
+
+    def test_empty_list(self):
+        assert roundtrip([]) == []
+
+
+class TestSizes:
+    def test_null_is_one_byte(self):
+        assert serialized_size(box(None)) == 1
+
+    def test_int_is_nine_bytes(self):
+        assert serialized_size(box(7)) == 9
+
+    def test_string_size_scales(self):
+        assert serialized_size(box("aaaa")) - serialized_size(box("aa")) == 2
+
+    def test_polygon_size_scales_with_vertices(self):
+        small = Polygon([(0, 0), (1, 0), (0, 1)])
+        big = Polygon([(0, 0), (1, 0), (1, 1), (0.5, 1.5), (0, 1)])
+        assert serialized_size(box(big)) > serialized_size(box(small))
+
+
+class TestErrors:
+    def test_unknown_tag(self):
+        with pytest.raises(SerdeError):
+            deserialize_value(b"\xff")
+
+    def test_multiple_values_in_one_buffer(self):
+        buf = bytearray()
+        serialize_value(box(1), buf)
+        serialize_value(box("two"), buf)
+        first, offset = deserialize_value(bytes(buf))
+        second, end = deserialize_value(bytes(buf), offset)
+        assert first.to_python() == 1
+        assert second.to_python() == "two"
+        assert end == len(buf)

@@ -1,0 +1,37 @@
+"""Unit tests for the FUDJ boundary translator (Figure 7)."""
+
+from repro.geometry import Point
+from repro.serde import Translator, box
+
+
+class TestTranslator:
+    def test_to_external_unboxes(self):
+        t = Translator()
+        assert t.to_external(box(5)) == 5
+        assert t.to_external(box(Point(1, 2))) == Point(1, 2)
+
+    def test_to_internal_boxes(self):
+        t = Translator()
+        assert t.to_internal(5) == box(5)
+
+    def test_counts(self):
+        t = Translator()
+        t.to_external(box(1))
+        t.to_external(box(2))
+        t.to_internal(3)
+        assert t.unbox_count == 2
+        assert t.box_count == 1
+        assert t.total_conversions == 3
+
+    def test_reset(self):
+        t = Translator()
+        t.to_external(box(1))
+        t.reset()
+        assert t.total_conversions == 0
+
+    def test_plain_value_still_counts(self):
+        # Values that reach the boundary already plain still pay the
+        # conversion (the proxy function cannot know in advance).
+        t = Translator()
+        assert t.to_external(42) == 42
+        assert t.unbox_count == 1

@@ -1,0 +1,85 @@
+"""Unit tests for boxed engine values."""
+
+import pytest
+
+from repro.errors import SerdeError
+from repro.geometry import Point, Polygon, Rectangle
+from repro.interval import Interval
+from repro.serde import (
+    ABoolean,
+    ADouble,
+    AGeometry,
+    AInt64,
+    AInterval,
+    AList,
+    ANull,
+    AString,
+    box,
+    unbox,
+)
+
+
+class TestBox:
+    def test_none(self):
+        assert isinstance(box(None), ANull)
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; boxing must keep it boolean.
+        assert isinstance(box(True), ABoolean)
+        assert box(True).value is True
+
+    def test_int(self):
+        assert box(42) == AInt64(42)
+
+    def test_float(self):
+        assert box(1.5) == ADouble(1.5)
+
+    def test_str(self):
+        assert box("hi") == AString("hi")
+
+    def test_geometry_types(self):
+        assert isinstance(box(Point(1, 2)), AGeometry)
+        assert isinstance(box(Rectangle(0, 0, 1, 1)), AGeometry)
+        assert isinstance(box(Polygon([(0, 0), (1, 0), (0, 1)])), AGeometry)
+
+    def test_interval(self):
+        assert isinstance(box(Interval(0, 1)), AInterval)
+
+    def test_list(self):
+        boxed = box([1, "a"])
+        assert isinstance(boxed, AList)
+        assert boxed.items == (AInt64(1), AString("a"))
+
+    def test_set_becomes_sorted_list(self):
+        boxed = box({"b", "a"})
+        assert boxed.to_python() == ["a", "b"]
+
+    def test_already_boxed_passthrough(self):
+        value = AInt64(5)
+        assert box(value) is value
+
+    def test_unboxable_raises(self):
+        with pytest.raises(SerdeError):
+            box(object())
+
+
+class TestUnbox:
+    def test_roundtrip(self):
+        for value in (None, True, False, 7, 2.5, "text", Point(1, 2),
+                      Interval(0, 3)):
+            assert unbox(box(value)) == value
+
+    def test_plain_value_passthrough(self):
+        assert unbox(42) == 42
+        assert unbox("plain") == "plain"
+
+    def test_nested_list(self):
+        assert unbox(box([1, [2, 3]])) == [1, [2, 3]]
+
+    def test_type_tags(self):
+        assert box(1).type_tag == "int64"
+        assert box(1.0).type_tag == "double"
+        assert box("x").type_tag == "string"
+        assert box(None).type_tag == "null"
+        assert box(Interval(0, 1)).type_tag == "interval"
+        assert box(Point(0, 0)).type_tag == "geometry"

@@ -1,0 +1,72 @@
+"""Tests for the memory-budget / spill cost model (§III)."""
+
+import pytest
+
+from repro.bench import SPATIAL_SQL, spatial_database
+from repro.database import Database
+from repro.engine.costs import CostModel
+
+
+class TestSpillUnits:
+    def test_within_budget_is_free(self):
+        model = CostModel(worker_memory_bytes=1000.0)
+        assert model.spill_units(999.0) == 0.0
+        assert model.spill_units(1000.0) == 0.0
+
+    def test_overflow_charged_twice_through_disk(self):
+        model = CostModel(worker_memory_bytes=1000.0,
+                          disk_bytes_per_second=100.0,
+                          core_ops_per_second=1.0)
+        # 500 bytes overflow, written + read at 100 B/s = 10 s = 10 units.
+        assert model.spill_units(1500.0) == pytest.approx(10.0)
+
+    def test_scales_with_overflow(self):
+        model = CostModel(worker_memory_bytes=0.0)
+        assert model.spill_units(2000.0) == 2 * model.spill_units(1000.0)
+
+
+class TestSpillInQueries:
+    def _db(self, memory_bytes):
+        return spatial_database(120, 1200, partitions=4, grid_n=16, seed=8)
+
+    def test_tiny_budget_slows_simulation_not_results(self):
+        roomy = spatial_database(120, 1200, partitions=4, grid_n=16, seed=8)
+        cramped = Database(
+            num_partitions=4,
+            cost_model=CostModel(worker_memory_bytes=1024.0),
+        )
+        # Rebuild the same workload on the cramped cluster.
+        from repro.builtin import install_builtin_joins
+        from repro.datagen import generate_parks, generate_wildfires
+        from repro.joins import SpatialContainsJoin
+
+        cramped.create_type("ParkType", [("id", "int"), ("boundary", "geometry"),
+                                         ("tags", "string")])
+        cramped.create_dataset("Parks", "ParkType", "id")
+        cramped.load("Parks", generate_parks(120, seed=8))
+        cramped.create_type("FireType", [("id", "int"), ("location", "point"),
+                                         ("fire_start", "double"),
+                                         ("fire_end", "double")])
+        cramped.create_dataset("Wildfires", "FireType", "id")
+        cramped.load("Wildfires", generate_wildfires(1200, seed=9))
+        cramped.create_join("st_contains", SpatialContainsJoin, defaults=(16,))
+        install_builtin_joins(cramped, spatial_n=16)
+
+        a = roomy.execute(SPATIAL_SQL, mode="fudj")
+        b = cramped.execute(SPATIAL_SQL, mode="fudj")
+        assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows))
+        assert (b.metrics.simulated_seconds(12)
+                > a.metrics.simulated_seconds(12))
+
+    def test_default_budget_never_spills_bench_workloads(self):
+        db = self._db(None)
+        result = db.execute(SPATIAL_SQL, mode="fudj")
+        model = db.cluster.cost_model
+        # The laptop-scale workloads stay far below 64 MB per worker.
+        total_bytes = sum(
+            record.serialized_size()
+            for name in db.catalog.dataset_names()
+            for record in db.cluster.dataset(name).scan()
+        )
+        assert total_bytes < model.worker_memory_bytes
+        assert result.metrics.simulated_seconds(12) > 0

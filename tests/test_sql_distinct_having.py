@@ -1,0 +1,130 @@
+"""Tests for SELECT DISTINCT, HAVING, and LIMIT ... OFFSET."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture()
+def db():
+    db = Database(num_partitions=4)
+    db.execute("CREATE TYPE T { id: int, grp: int, v: int }")
+    db.execute("CREATE DATASET D(T) PRIMARY KEY id")
+    db.load("D", [
+        {"id": i, "grp": i % 4, "v": i % 3}
+        for i in range(24)
+    ])
+    return db
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, db):
+        result = db.execute("SELECT DISTINCT d.v FROM D d")
+        assert sorted(result.column("d.v")) == [0, 1, 2]
+
+    def test_distinct_multi_column(self, db):
+        result = db.execute("SELECT DISTINCT d.grp, d.v FROM D d")
+        pairs = {(row["d.grp"], row["d.v"]) for row in result.rows}
+        assert len(result) == len(pairs) == 12
+
+    def test_distinct_with_order_and_limit(self, db):
+        result = db.execute(
+            "SELECT DISTINCT d.v FROM D d ORDER BY d.v DESC LIMIT 2"
+        )
+        assert result.column("d.v") == [2, 1]
+
+    def test_without_distinct_keeps_duplicates(self, db):
+        result = db.execute("SELECT d.v FROM D d")
+        assert len(result) == 24
+
+    def test_distinct_plan_node(self, db):
+        assert "DISTINCT" in db.explain("SELECT DISTINCT d.v FROM D d")
+
+
+class TestHaving:
+    def test_having_on_select_aggregate(self, db):
+        # Each grp has 6 rows; filter is trivially true / false.
+        result = db.execute(
+            "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+            "HAVING COUNT(1) >= 6"
+        )
+        assert len(result) == 4
+        none = db.execute(
+            "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+            "HAVING COUNT(1) > 6"
+        )
+        assert len(none) == 0
+
+    def test_having_by_output_alias(self, db):
+        result = db.execute(
+            "SELECT d.grp, SUM(d.v) AS total FROM D d GROUP BY d.grp "
+            "HAVING total > 5"
+        )
+        for row in result.rows:
+            assert row["total"] > 5
+
+    def test_having_hidden_aggregate(self, db):
+        # MAX(d.v) appears only in HAVING; it must not leak into output.
+        result = db.execute(
+            "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+            "HAVING MAX(d.v) = 2"
+        )
+        assert len(result) > 0
+        assert set(result.schema) == {"d.grp", "n"}
+
+    def test_having_on_group_key(self, db):
+        result = db.execute(
+            "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+            "HAVING d.grp < 2"
+        )
+        assert sorted(row["d.grp"] for row in result.rows) == [0, 1]
+
+    def test_having_compound_condition(self, db):
+        result = db.execute(
+            "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+            "HAVING d.grp < 3 AND COUNT(1) >= 6"
+        )
+        assert len(result) == 3
+
+    def test_having_without_group_by_on_scalar_agg(self, db):
+        some = db.execute("SELECT COUNT(1) AS n FROM D d HAVING COUNT(1) > 10")
+        assert some.rows == [{"n": 24}]
+        none = db.execute("SELECT COUNT(1) AS n FROM D d HAVING COUNT(1) > 100")
+        assert none.rows == []
+
+    def test_having_ungrouped_column_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute(
+                "SELECT d.grp, COUNT(1) AS n FROM D d GROUP BY d.grp "
+                "HAVING d.v > 1"
+            )
+
+    def test_having_without_aggregates_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT d.v FROM D d HAVING d.v > 1")
+
+
+class TestOffset:
+    def test_limit_offset(self, db):
+        all_ids = db.execute(
+            "SELECT d.id FROM D d ORDER BY d.id"
+        ).column("d.id")
+        page = db.execute(
+            "SELECT d.id FROM D d ORDER BY d.id LIMIT 5 OFFSET 10"
+        ).column("d.id")
+        assert page == all_ids[10:15]
+
+    def test_offset_past_end(self, db):
+        result = db.execute(
+            "SELECT d.id FROM D d ORDER BY d.id LIMIT 5 OFFSET 100"
+        )
+        assert len(result) == 0
+
+    def test_pagination_covers_everything(self, db):
+        pages = []
+        for offset in range(0, 24, 7):
+            pages.extend(db.execute(
+                f"SELECT d.id FROM D d ORDER BY d.id LIMIT 7 OFFSET {offset}"
+            ).column("d.id"))
+        assert pages == list(range(24))

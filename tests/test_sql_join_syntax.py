@@ -1,0 +1,140 @@
+"""Tests for JOIN ... ON syntax and COUNT(DISTINCT)."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import PlanError
+from repro.joins import SpatialContainsJoin
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture()
+def db():
+    db = Database(num_partitions=4)
+    db.execute("CREATE TYPE O { id: int, cust: int, amount: int }")
+    db.execute("CREATE DATASET Orders(O) PRIMARY KEY id")
+    db.execute("CREATE TYPE C { id: int, city: string }")
+    db.execute("CREATE DATASET Customers(C) PRIMARY KEY id")
+    db.load("Customers", [
+        {"id": i, "city": ["sf", "la", "ny"][i % 3]} for i in range(9)
+    ])
+    db.load("Orders", [
+        {"id": i, "cust": i % 9, "amount": i * 10} for i in range(27)
+    ])
+    return db
+
+
+class TestJoinOnSyntax:
+    def test_equi_join_on(self, db):
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM Orders o JOIN Customers c "
+            "ON o.cust = c.id"
+        )
+        assert result.rows == [{"n": 27}]
+
+    def test_join_on_uses_hash_join(self, db):
+        plan = db.explain(
+            "SELECT o.id FROM Orders o JOIN Customers c ON o.cust = c.id"
+        )
+        assert "HASH JOIN" in plan
+
+    def test_inner_join_keyword(self, db):
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM Orders o INNER JOIN Customers c "
+            "ON o.cust = c.id"
+        )
+        assert result.rows == [{"n": 27}]
+
+    def test_join_on_with_where(self, db):
+        result = db.execute(
+            "SELECT COUNT(1) AS n FROM Orders o JOIN Customers c "
+            "ON o.cust = c.id WHERE c.city = 'sf'"
+        )
+        assert result.rows == [{"n": 9}]
+
+    def test_chained_joins(self, db):
+        db.execute("CREATE TYPE Ct { city: string, region: string }")
+        db.execute("CREATE DATASET Cities(Ct) PRIMARY KEY city")
+        db.load("Cities", [{"city": "sf", "region": "west"},
+                           {"city": "la", "region": "west"},
+                           {"city": "ny", "region": "east"}])
+        result = db.execute(
+            "SELECT t.region, COUNT(1) AS n FROM Orders o "
+            "JOIN Customers c ON o.cust = c.id "
+            "JOIN Cities t ON c.city = t.city "
+            "GROUP BY t.region"
+        )
+        assert sorted((r["t.region"], r["n"]) for r in result.rows) == [
+            ("east", 9), ("west", 18),
+        ]
+
+    def test_join_on_equals_comma_where(self, db):
+        a = db.execute("SELECT COUNT(1) AS n FROM Orders o, Customers c "
+                       "WHERE o.cust = c.id")
+        b = db.execute("SELECT COUNT(1) AS n FROM Orders o JOIN Customers c "
+                       "ON o.cust = c.id")
+        assert a.rows == b.rows
+
+    def test_fudj_predicate_in_on_clause(self, db):
+        db.execute("CREATE TYPE P { id: int, boundary: geometry }")
+        db.execute("CREATE DATASET Parks(P) PRIMARY KEY id")
+        db.execute("CREATE TYPE F { id: int, location: point }")
+        db.execute("CREATE DATASET Fires(F) PRIMARY KEY id")
+        db.load("Parks", [{"id": 1, "boundary":
+                           Polygon.regular(Point(0, 0), 5.0, 6)}])
+        db.load("Fires", [{"id": i, "location": Point(i, 0)}
+                          for i in range(10)])
+        db.create_join("st_contains", SpatialContainsJoin, defaults=(4,))
+        plan = db.explain(
+            "SELECT p.id FROM Parks p JOIN Fires f "
+            "ON st_contains(p.boundary, f.location)"
+        )
+        assert "FUDJ JOIN" in plan
+
+    def test_missing_on_rejected(self, db):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            db.execute("SELECT o.id FROM Orders o JOIN Customers c")
+
+
+class TestCountDistinct:
+    def test_scalar(self, db):
+        result = db.execute("SELECT COUNT(DISTINCT o.cust) AS n FROM Orders o")
+        assert result.rows == [{"n": 9}]
+
+    def test_grouped(self, db):
+        result = db.execute(
+            "SELECT c.city, COUNT(DISTINCT o.cust) AS custs "
+            "FROM Orders o JOIN Customers c ON o.cust = c.id "
+            "GROUP BY c.city"
+        )
+        assert sorted((r["c.city"], r["custs"]) for r in result.rows) == [
+            ("la", 3), ("ny", 3), ("sf", 3),
+        ]
+
+    def test_distinct_vs_plain_count(self, db):
+        plain = db.execute("SELECT COUNT(o.cust) AS n FROM Orders o")
+        distinct = db.execute("SELECT COUNT(DISTINCT o.cust) AS n FROM Orders o")
+        assert plain.rows == [{"n": 27}]
+        assert distinct.rows == [{"n": 9}]
+
+    def test_distinct_merges_across_partitions(self, db):
+        # Every customer id appears in multiple partitions; the set-based
+        # partial states must merge without double counting.
+        result = db.execute(
+            "SELECT COUNT(DISTINCT o.amount) AS n FROM Orders o"
+        )
+        assert result.rows == [{"n": 27}]  # all amounts unique
+
+    def test_distinct_in_having(self, db):
+        result = db.execute(
+            "SELECT c.city, COUNT(1) AS n "
+            "FROM Orders o JOIN Customers c ON o.cust = c.id "
+            "GROUP BY c.city HAVING COUNT(DISTINCT o.cust) >= 3"
+        )
+        assert len(result) == 3
+
+    def test_sum_distinct_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT SUM(DISTINCT o.amount) AS s FROM Orders o")

@@ -1,0 +1,125 @@
+"""Tests for database persistence (save/load)."""
+
+import json
+
+import pytest
+
+from repro.bench import SPATIAL_SQL, spatial_database
+from repro.database import Database
+from repro.storage import StorageError, load_database, save_database
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    db = spatial_database(60, 300, partitions=4, grid_n=8, seed=1)
+    save_database(db, tmp_path / "db")
+    return db, tmp_path / "db"
+
+
+class TestRoundTrip:
+    def test_layout(self, saved):
+        _, path = saved
+        assert (path / "catalog.json").exists()
+        assert (path / "data" / "Parks.bin").exists()
+        assert (path / "data" / "Wildfires.bin").exists()
+
+    def test_data_survives(self, saved):
+        original, path = saved
+        loaded = load_database(path)
+        for name in ("Parks", "Wildfires"):
+            a = sorted(map(repr, original.cluster.dataset(name).scan()))
+            b = sorted(map(repr, loaded.cluster.dataset(name).scan()))
+            assert a == b
+
+    def test_partition_layout_preserved(self, saved):
+        original, path = saved
+        loaded = load_database(path)
+        for name in ("Parks", "Wildfires"):
+            assert [len(p) for p in original.cluster.dataset(name).partitions] \
+                == [len(p) for p in loaded.cluster.dataset(name).partitions]
+
+    def test_queries_give_same_answers(self, saved):
+        original, path = saved
+        loaded = load_database(path)
+        a = original.execute(SPATIAL_SQL, mode="fudj")
+        b = loaded.execute(SPATIAL_SQL, mode="fudj")
+        assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows))
+
+    def test_joins_reconnected(self, saved):
+        _, path = saved
+        loaded = load_database(path)
+        assert "st_contains" in loaded.joins
+        assert "FUDJ JOIN" in loaded.explain(SPATIAL_SQL)
+
+    def test_cluster_config_preserved(self, saved):
+        original, path = saved
+        loaded = load_database(path)
+        assert loaded.cluster.num_partitions == original.cluster.num_partitions
+        assert loaded.cluster.cores == original.cluster.cores
+
+    def test_empty_database(self, tmp_path):
+        db = Database(num_partitions=3)
+        save_database(db, tmp_path / "empty")
+        loaded = load_database(tmp_path / "empty")
+        assert loaded.catalog.dataset_names() == []
+
+    def test_dataset_without_rows(self, tmp_path):
+        db = Database(num_partitions=2)
+        db.create_type("T", [("id", "int")])
+        db.create_dataset("D", "T", "id")
+        save_database(db, tmp_path / "d")
+        loaded = load_database(tmp_path / "d")
+        assert len(loaded.cluster.dataset("D")) == 0
+
+    def test_resave_overwrites(self, saved):
+        from repro.geometry import Point
+
+        original, path = saved
+        original.load("Wildfires", [{
+            "id": 999, "location": Point(1, 1),
+            "fire_start": 0.0, "fire_end": 1.0,
+        }])
+        save_database(original, path)
+        loaded = load_database(path)
+        assert len(loaded.cluster.dataset("Wildfires")) == 301
+
+
+class TestCorruption:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(StorageError, match="catalog.json"):
+            load_database(tmp_path / "nope")
+
+    def test_corrupt_catalog(self, tmp_path):
+        root = tmp_path / "db"
+        root.mkdir()
+        (root / "catalog.json").write_text("{ not json")
+        with pytest.raises(StorageError, match="corrupt"):
+            load_database(root)
+
+    def test_wrong_version(self, tmp_path):
+        root = tmp_path / "db"
+        root.mkdir()
+        (root / "catalog.json").write_text(json.dumps(
+            {"format": "fudj-db", "version": 99}
+        ))
+        with pytest.raises(StorageError, match="unsupported"):
+            load_database(root)
+
+    def test_missing_data_file(self, saved):
+        _, path = saved
+        (path / "data" / "Parks.bin").unlink()
+        with pytest.raises(StorageError, match="missing data file"):
+            load_database(path)
+
+    def test_bad_magic(self, saved):
+        _, path = saved
+        (path / "data" / "Parks.bin").write_bytes(b"garbage")
+        with pytest.raises(StorageError, match="bad magic"):
+            load_database(path)
+
+    def test_truncated_data(self, saved):
+        _, path = saved
+        data_file = path / "data" / "Parks.bin"
+        data_file.write_bytes(data_file.read_bytes()[:-10])
+        with pytest.raises(StorageError):
+            load_database(path)

@@ -1,0 +1,80 @@
+"""Tests for sampled SUMMARIZE (the statistics-cost knob).
+
+Sampling is sound for every shipped join because ``assign`` clamps keys
+outside the summarized domain: spatial grids clamp to border tiles,
+interval granules clamp to [0, n-1], and the text join gives unknown
+tokens a deterministic fallback rank.  These tests pin both halves of the
+claim — identical results, cheaper summaries.
+"""
+
+import pytest
+
+from repro.bench import (
+    INTERVAL_SQL,
+    SPATIAL_SQL,
+    TEXT_SQL,
+    interval_database,
+    spatial_database,
+    text_database,
+)
+from repro.errors import ExecutionError
+
+
+def summarize_units(metrics) -> float:
+    return sum(stage.total_units() for stage in metrics.stages
+               if "summarize" in stage.name)
+
+
+class TestSampledResultsUnchanged:
+    @pytest.mark.parametrize("fraction", [0.5, 0.2, 0.05])
+    def test_spatial(self, fraction):
+        db = spatial_database(120, 900, partitions=4, grid_n=12, seed=2)
+        full = db.execute(SPATIAL_SQL, mode="fudj")
+        sampled = db.execute(SPATIAL_SQL, mode="fudj",
+                             summarize_sample=fraction)
+        assert sorted(map(repr, full.rows)) == sorted(map(repr, sampled.rows))
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.1])
+    def test_interval(self, fraction):
+        db = interval_database(500, partitions=4, num_buckets=64, seed=3)
+        full = db.execute(INTERVAL_SQL, mode="fudj")
+        sampled = db.execute(INTERVAL_SQL, mode="fudj",
+                             summarize_sample=fraction)
+        assert full.rows == sampled.rows
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.1])
+    def test_text(self, fraction):
+        db = text_database(400, partitions=4, seed=4)
+        sql = TEXT_SQL.format(threshold=0.8)
+        full = db.execute(sql, mode="fudj")
+        sampled = db.execute(sql, mode="fudj", summarize_sample=fraction)
+        assert full.rows == sampled.rows
+
+
+class TestSamplingCutsCost:
+    def test_summarize_units_shrink(self):
+        db = spatial_database(200, 2000, partitions=4, grid_n=16, seed=5)
+        full = db.execute(SPATIAL_SQL, mode="fudj")
+        sampled = db.execute(SPATIAL_SQL, mode="fudj", summarize_sample=0.1)
+        assert summarize_units(sampled.metrics) < 0.3 * summarize_units(
+            full.metrics
+        )
+
+    def test_full_fraction_is_default(self):
+        db = spatial_database(60, 300, partitions=4, grid_n=8, seed=6)
+        default = db.execute(SPATIAL_SQL, mode="fudj")
+        explicit = db.execute(SPATIAL_SQL, mode="fudj", summarize_sample=1.0)
+        assert summarize_units(default.metrics) == summarize_units(
+            explicit.metrics
+        )
+
+
+class TestValidation:
+    def test_bad_fractions_rejected(self):
+        from repro.engine.operators import FudjJoin, Scan
+        from tests.helpers import BandJoin
+
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ExecutionError):
+                FudjJoin(Scan("a"), Scan("b"), BandJoin(), None, None,
+                         summarize_sample=bad)

@@ -1,0 +1,114 @@
+"""Unit tests for the text substrate."""
+
+import pytest
+
+from repro.text import jaccard_similarity, prefix_length, tokenize, word_tokens
+from repro.text.similarity import overlap_lower_bound
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello world") == frozenset({"hello", "world"})
+
+    def test_duplicates_dropped(self):
+        assert tokenize("a a a b") == frozenset({"a", "b"})
+
+    def test_punctuation_split(self):
+        assert tokenize("great-phone, love it!") == frozenset(
+            {"great", "phone", "love", "it"}
+        )
+
+    def test_numbers_kept(self):
+        assert "5" in tokenize("5 stars")
+
+    def test_empty(self):
+        assert tokenize("") == frozenset()
+        assert tokenize("!!! ...") == frozenset()
+
+    def test_word_tokens_sorted(self):
+        assert word_tokens("banana apple cherry") == ["apple", "banana", "cherry"]
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_half(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity(set(), {"a"}) == 0.0
+
+    def test_accepts_lists(self):
+        assert jaccard_similarity(["a", "b", "a"], ["a", "b"]) == 1.0
+
+    def test_symmetric(self):
+        a, b = {"x", "y", "z"}, {"y", "z", "w", "v"}
+        assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+
+
+class TestPrefixLength:
+    def test_formula(self):
+        # l=10, t=0.9: p = 10 - 9 + 1 = 2.
+        assert prefix_length(10, 0.9) == 2
+
+    def test_threshold_one(self):
+        assert prefix_length(10, 1.0) == 1
+
+    def test_low_threshold_takes_most_tokens(self):
+        assert prefix_length(10, 0.1) == 10
+
+    def test_zero_size(self):
+        assert prefix_length(0, 0.9) == 0
+
+    def test_single_token(self):
+        assert prefix_length(1, 0.9) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            prefix_length(5, 1.5)
+        with pytest.raises(ValueError):
+            prefix_length(5, -0.1)
+
+    def test_clamped_to_size(self):
+        for size in range(1, 30):
+            for threshold in (0.1, 0.5, 0.8, 0.9, 0.99, 1.0):
+                p = prefix_length(size, threshold)
+                assert 1 <= p <= size
+
+
+class TestOverlapLowerBound:
+    def test_formula(self):
+        # t=0.5, sizes 4 and 4: overlap >= ceil(1/3 * 8) = 3.
+        assert overlap_lower_bound(4, 4, 0.5) == 3
+
+    def test_threshold_one_requires_everything(self):
+        assert overlap_lower_bound(5, 5, 1.0) == 5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            overlap_lower_bound(3, 3, 2.0)
+
+    def test_prefix_filter_completeness(self):
+        # The guarantee prefix filtering rests on: if two equal-size sets
+        # have Jaccard >= t, they must share a token within the first
+        # prefix_length positions of any common total order.
+        import itertools
+
+        universe = list("abcdef")
+        threshold = 0.6
+        order = {token: i for i, token in enumerate(universe)}
+        for size_a in (2, 3, 4):
+            for sa in itertools.combinations(universe, size_a):
+                for sb in itertools.combinations(universe, size_a):
+                    if jaccard_similarity(set(sa), set(sb)) < threshold:
+                        continue
+                    pa = sorted(sa, key=order.get)[: prefix_length(len(sa), threshold)]
+                    pb = sorted(sb, key=order.get)[: prefix_length(len(sb), threshold)]
+                    assert set(pa) & set(pb), (sa, sb)
