@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-check examples slow-examples shell clean
+.PHONY: install test test-faults bench bench-check examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-faults:      ## fault-tolerance tests + ablation benchmark
+	$(PYTHON) -m pytest tests/test_fault_tolerance.py tests/test_failure_injection.py -q
+	$(PYTHON) -m pytest benchmarks/bench_fault_tolerance.py --benchmark-disable -q
 
 bench:            ## full run: timings + shape assertions + results/*.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

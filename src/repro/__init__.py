@@ -21,9 +21,10 @@ from repro.core import FlexibleJoin, JoinSide, StandaloneRunner
 from repro.database import Database
 from repro.engine.costs import CostModel
 from repro.engine.executor import QueryResult
+from repro.engine.faults import FaultPlan
 from repro.optimizer import ExecutionMode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -33,5 +34,6 @@ __all__ = [
     "ExecutionMode",
     "QueryResult",
     "CostModel",
+    "FaultPlan",
     "__version__",
 ]

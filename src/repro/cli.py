@@ -2,15 +2,20 @@
 
 Usage::
 
-    python -m repro                 # interactive shell
-    python -m repro script.sql      # run a ;-separated script
-    python -m repro --demo spatial  # preload a synthetic demo workload
+    python -m repro                        # interactive shell
+    python -m repro script.sql             # run a ;-separated script
+    python -m repro --demo spatial         # preload a synthetic demo workload
+    python -m repro --inject-faults 7:0.05 # seeded fault injection
+                                           # (SEED:RATE or
+                                           #  SEED:CRASH:STRAGGLER:EXCHANGE)
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
 
     .mode fudj|builtin|ontop    execution mode for joins
     .dedup avoidance|elimination|none|default
+    .faults SEED:RATE|off|show  seeded fault injection for this session
+    .onerror fail|skip|quarantine  poison-record policy for FUDJ callbacks
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -19,6 +24,9 @@ session:
     .timing on|off              print per-query timings
     .help                       this text
     .quit                       exit
+
+With faults active, ``EXPLAIN ANALYZE <query>;`` shows the retry /
+straggler / quarantine counters and the simulated recovery overhead.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import sys
 
 from repro.database import Database
+from repro.engine.faults import FaultPlan
 from repro.errors import ReproError
 
 _HELP = __doc__.split("Inside the shell", 1)[1]
@@ -102,12 +111,19 @@ class Shell:
             self.write("ok")
         if self.timing and result.metrics.wall_seconds:
             cores = self.db.cluster.cores
-            self.write(
+            metrics = result.metrics
+            line = (
                 f"[{len(result.rows)} row(s), "
-                f"wall {result.metrics.wall_seconds * 1000:.1f} ms, "
-                f"simulated {result.metrics.simulated_seconds(cores) * 1000:.2f} ms "
-                f"on {cores} cores]"
+                f"wall {metrics.wall_seconds * 1000:.1f} ms, "
+                f"simulated {metrics.simulated_seconds(cores) * 1000:.2f} ms "
+                f"on {cores} cores"
             )
+            retries = metrics.tasks_retried + metrics.exchange_retries
+            if retries:
+                line += f", {retries} retries"
+            if metrics.records_quarantined:
+                line += f", {metrics.records_quarantined} quarantined"
+            self.write(line + "]")
 
     # -- dot commands ------------------------------------------------------------------
 
@@ -131,6 +147,29 @@ class Shell:
                 self.write(f"dedup = {args[0]}")
             else:
                 self.write("usage: .dedup avoidance|elimination|none|default")
+        elif name == ".faults":
+            if not args or args[0] == "show":
+                plan = self.db.fault_plan
+                self.write(
+                    "faults = off" if plan is None
+                    else f"faults = {plan.describe()}"
+                )
+            elif args[0] == "off":
+                self.db.fault_plan = None
+                self.write("faults = off")
+            else:
+                try:
+                    self.db.fault_plan = FaultPlan.parse(args[0])
+                except ReproError as exc:
+                    self.write(f"error: {exc}")
+                else:
+                    self.write(f"faults = {self.db.fault_plan.describe()}")
+        elif name == ".onerror":
+            if args and args[0] in ("fail", "skip", "quarantine"):
+                self.db.on_error = args[0]
+                self.write(f"on_error = {args[0]}")
+            else:
+                self.write("usage: .onerror fail|skip|quarantine")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -158,7 +197,6 @@ class Shell:
             if not args:
                 self.write("usage: .open <dir>")
             else:
-                from repro.errors import ReproError
                 from repro.storage import load_database
 
                 try:
@@ -185,7 +223,13 @@ class Shell:
         if builder is None:
             self.write("usage: .demo spatial|interval|text")
             return
+        previous = self.db
         self.db = builder()
+        # Demo databases are freshly built; the session's fault-tolerance
+        # posture carries over.
+        self.db.fault_plan = previous.fault_plan
+        self.db.on_error = previous.on_error
+        self.db.query_timeout = previous.query_timeout
         queries = {
             "spatial": workloads.SPATIAL_SQL,
             "interval": workloads.INTERVAL_SQL,
@@ -200,7 +244,22 @@ class Shell:
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    shell = Shell()
+    fault_plan = None
+    if "--inject-faults" in argv:
+        at = argv.index("--inject-faults")
+        if at + 1 >= len(argv):
+            print("--inject-faults needs SEED:RATE (or "
+                  "SEED:CRASH:STRAGGLER:EXCHANGE)", file=sys.stderr)
+            return 1
+        try:
+            fault_plan = FaultPlan.parse(argv[at + 1])
+        except ReproError as exc:
+            print(f"bad --inject-faults value: {exc}", file=sys.stderr)
+            return 1
+        del argv[at:at + 2]
+    shell = Shell(db=Database(fault_plan=fault_plan))
+    if fault_plan is not None:
+        print(f"fault injection active: {fault_plan.describe()}")
     if argv and argv[0] == "--demo":
         shell._load_demo(argv[1] if len(argv) > 1 else "spatial")
         argv = argv[2:]

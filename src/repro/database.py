@@ -32,8 +32,10 @@ from repro.core.dedup import (
 )
 from repro.core.library import JoinRegistry, JoinSignature
 from repro.engine import Cluster, Schema
+from repro.engine.context import ERROR_POLICIES
 from repro.engine.costs import CostModel
 from repro.engine.executor import QueryResult, execute_plan
+from repro.engine.faults import FaultPlan
 from repro.errors import PlanError, ReproError
 from repro.optimizer import ExecutionMode, bind_select, optimize, plan_physical
 from repro.query.functions import default_function_registry
@@ -54,23 +56,38 @@ _DEDUP_STRATEGIES = {
     "none": NoDedup,
 }
 
+#: Sentinel distinguishing "not passed" from an explicit None override.
+_UNSET = object()
+
 
 class Database:
-    """A self-contained FUDJ-enabled database instance."""
+    """A self-contained FUDJ-enabled database instance.
+
+    ``fault_plan``, ``on_error``, and ``query_timeout`` set the
+    instance-wide fault-tolerance posture; each can be overridden per
+    query in :meth:`execute`.
+    """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
-                 cost_model: CostModel = None) -> None:
+                 cost_model: CostModel = None, fault_plan=None,
+                 on_error: str = "fail",
+                 query_timeout: float = None) -> None:
         self.cluster = Cluster(num_partitions, cores, cost_model)
         self.catalog = Catalog()
         self.functions = default_function_registry()
         self.joins = JoinRegistry()
         self.builtin_factories = {}
+        self.fault_plan = _to_fault_plan(fault_plan)
+        self.on_error = _check_policy(on_error)
+        self.query_timeout = query_timeout
 
     # -- SQL entry points -----------------------------------------------------------
 
     def execute(self, sql: str, mode="fudj", dedup=None,
                 measure_bytes: bool = True,
-                summarize_sample: float = 1.0) -> QueryResult:
+                summarize_sample: float = 1.0, fault_plan=_UNSET,
+                on_error: str = None,
+                query_timeout: float = _UNSET) -> QueryResult:
         """Parse and run one SQL statement.
 
         Args:
@@ -87,15 +104,31 @@ class Database:
                 Results are unchanged for the shipped joins — summaries
                 steer partitioning quality, ``verify`` decides membership
                 — but summarize cost drops proportionally.
+            fault_plan: per-query override of the instance fault plan — a
+                :class:`~repro.engine.faults.FaultPlan`, a ``SEED:RATE``
+                spec string, or ``None`` to disable injection.
+            on_error: per-query override of the degraded-mode policy for
+                FUDJ callbacks (``fail`` / ``skip`` / ``quarantine``).
+            query_timeout: per-query override of the wall-clock budget in
+                seconds (``None`` disables it).
         """
+        faults = (self.fault_plan if fault_plan is _UNSET
+                  else _to_fault_plan(fault_plan))
+        policy = self.on_error if on_error is None else _check_policy(on_error)
+        timeout = (self.query_timeout if query_timeout is _UNSET
+                   else query_timeout)
         statement = parse_statement(sql)
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
                                      summarize_sample)
-            return execute_plan(plan, self.cluster, measure_bytes=measure_bytes)
+            return execute_plan(plan, self.cluster,
+                                measure_bytes=measure_bytes,
+                                fault_plan=faults, on_error=policy,
+                                timeout_seconds=timeout)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement, _to_mode(mode),
-                                         _to_dedup(dedup), measure_bytes)
+                                         _to_dedup(dedup), measure_bytes,
+                                         faults, policy, timeout)
         return self._execute_ddl(statement)
 
     def explain(self, sql: str, mode="fudj") -> str:
@@ -120,7 +153,9 @@ class Database:
         )
 
     def _execute_explain(self, statement: ExplainStatement,
-                         mode: ExecutionMode, dedup, measure_bytes) -> QueryResult:
+                         mode: ExecutionMode, dedup, measure_bytes,
+                         fault_plan=None, on_error: str = "fail",
+                         timeout: float = None) -> QueryResult:
         """EXPLAIN: plan text (one row per line); ANALYZE adds a
         per-stage profile from a real execution."""
         from repro.engine.metrics import QueryMetrics
@@ -130,10 +165,19 @@ class Database:
         metrics = QueryMetrics(self.cluster.cost_model)
         if statement.analyze:
             executed = execute_plan(plan, self.cluster,
-                                    measure_bytes=measure_bytes)
+                                    measure_bytes=measure_bytes,
+                                    fault_plan=fault_plan, on_error=on_error,
+                                    timeout_seconds=timeout)
             metrics = executed.metrics
             lines.append("")
             lines.extend(metrics.profile(self.cluster.cores).splitlines())
+            if fault_plan is not None and not metrics.fault_summary_line():
+                # A fault plan ran but nothing fired — still say so, with
+                # the zeroed counters, so operators can see the knob is on.
+                lines.append(
+                    "fault tolerance: 0 task retries, 0 exchange retries, "
+                    "0 stragglers, 0 quarantined, recovery 0.00 ms"
+                )
         rows = [{"plan": line} for line in lines]
         return QueryResult(rows, ("plan",), metrics)
 
@@ -235,3 +279,22 @@ def _to_dedup(dedup) -> DedupStrategy:
         raise PlanError(
             f"unknown dedup strategy {dedup!r}; use avoidance/elimination/none"
         ) from None
+
+
+def _to_fault_plan(fault_plan) -> FaultPlan:
+    if fault_plan is None or isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    if isinstance(fault_plan, str):
+        return FaultPlan.parse(fault_plan)
+    raise PlanError(
+        f"fault_plan must be a FaultPlan, a SEED:RATE spec string, or None; "
+        f"got {fault_plan!r}"
+    )
+
+
+def _check_policy(on_error: str) -> str:
+    if on_error not in ERROR_POLICIES:
+        raise PlanError(
+            f"unknown error policy {on_error!r}; use fail/skip/quarantine"
+        )
+    return on_error

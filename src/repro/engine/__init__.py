@@ -11,6 +11,7 @@ paper's scalability experiments (Fig 10, 12–144 cores) run on one machine.
 from repro.engine.record import Record, Schema
 from repro.engine.dataset import PartitionedDataset
 from repro.engine.cluster import Cluster
+from repro.engine.faults import FaultPlan
 from repro.engine.metrics import QueryMetrics
 from repro.engine.costs import CostModel
 
@@ -19,6 +20,7 @@ __all__ = [
     "Schema",
     "PartitionedDataset",
     "Cluster",
+    "FaultPlan",
     "QueryMetrics",
     "CostModel",
 ]

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.cluster import Cluster
+from repro.engine.faults import FaultPlan, stage_key
 from repro.engine.metrics import QueryMetrics
+from repro.errors import ExecutionError, QueryTimeoutError, TaskFailedError
 from repro.serde.translator import Translator
+
+#: Degraded-mode policies for per-record FUDJ callbacks.
+ERROR_POLICIES = ("fail", "skip", "quarantine")
 
 
 class ExecutionContext:
@@ -18,14 +25,39 @@ class ExecutionContext:
         measure_bytes: when False, exchanges estimate record sizes from a
             sample instead of serializing every record — a speed knob for
             large benchmark sweeps; accuracy tests keep it True.
+        fault_plan: optional :class:`~repro.engine.faults.FaultPlan`;
+            when set, per-worker tasks and exchange sends suffer seeded
+            crashes/stragglers/transient failures and exchanges
+            checkpoint their outputs.
+        on_error: what to do when a per-record FUDJ callback raises —
+            ``"fail"`` aborts the query (the classic behaviour),
+            ``"skip"`` drops the poison record, ``"quarantine"`` drops
+            it and keeps a per-phase error report in the metrics.
+        timeout_seconds: wall-clock budget; checked at stage boundaries
+            and task attempts, so cancellation is clean.
     """
 
     def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
-                 measure_bytes: bool = True) -> None:
+                 measure_bytes: bool = True, fault_plan: FaultPlan = None,
+                 on_error: str = "fail",
+                 timeout_seconds: float = None) -> None:
+        if on_error not in ERROR_POLICIES:
+            raise ExecutionError(
+                f"unknown error policy {on_error!r}; use fail/skip/quarantine"
+            )
         self.cluster = cluster
         self.metrics = metrics or QueryMetrics(cluster.cost_model)
         self.translator = Translator()
         self.measure_bytes = measure_bytes
+        self.fault_plan = fault_plan
+        self.on_error = on_error
+        self.timeout_seconds = timeout_seconds
+        self._deadline = (
+            None if timeout_seconds is None
+            else time.perf_counter() + timeout_seconds
+        )
+        # Every new stage is a cancellation point.
+        self.metrics.stage_observer = lambda stage: self.check_timeout()
 
     @property
     def num_partitions(self) -> int:
@@ -34,6 +66,114 @@ class ExecutionContext:
     @property
     def cost_model(self):
         return self.cluster.cost_model
+
+    @property
+    def checkpointing(self) -> bool:
+        """Whether exchanges spool their outputs to the checkpoint store."""
+        return self.fault_plan is not None and self.fault_plan.checkpoint
+
+    # -- cancellation ----------------------------------------------------------
+
+    def check_timeout(self) -> None:
+        """Raise :class:`QueryTimeoutError` once the deadline has passed."""
+        if self._deadline is None:
+            return
+        now = time.perf_counter()
+        if now > self._deadline:
+            elapsed = self.timeout_seconds + (now - self._deadline)
+            raise QueryTimeoutError(elapsed, self.timeout_seconds)
+
+    # -- task-level fault injection and recovery -------------------------------
+
+    def run_task(self, stage, worker: int, fn, input_bytes: float = 0.0):
+        """Run one per-worker task with crash/straggler injection.
+
+        ``fn`` computes the task result, charging its work to ``stage``
+        for ``worker`` as usual; it must be free of other side effects so
+        a replay is safe.  On an injected crash the attempt's output is
+        lost *after* the work was done: the wasted units stay charged,
+        result-visible counters (comparisons, quarantines) are rolled
+        back, and the task is replayed after a capped exponential
+        backoff plus a checkpoint restore of ``input_bytes``.  A
+        straggling task is cut short by a speculative copy once it
+        overruns detection.  Every recovery charge lands in the normal
+        stage accounting, so the simulated makespan reflects it.
+        """
+        plan = self.fault_plan
+        if (plan is None or not plan.any_faults()
+                or not plan.active_for(stage.name)):
+            self.check_timeout()  # every task attempt is a cancellation point
+            return fn()
+        model = self.cost_model
+        metrics = self.metrics
+        key = stage_key(stage.name)
+        attempt = 0
+        while True:
+            self.check_timeout()
+            units_before = stage.worker_units.get(worker, 0.0)
+            comparisons = metrics.comparisons
+            quarantined = metrics.records_quarantined
+            log_length = len(metrics.quarantine_log)
+            result = fn()
+            units = stage.worker_units.get(worker, 0.0) - units_before
+            if not plan.crashes(key, worker, attempt):
+                break
+            # The attempt's output is lost: keep the wasted work charged,
+            # roll back the logical counters, and replay from the stage's
+            # checkpointed input — not from the start of the plan.
+            metrics.comparisons = comparisons
+            metrics.records_quarantined = quarantined
+            del metrics.quarantine_log[log_length:]
+            attempt += 1
+            if attempt > plan.max_task_retries:
+                raise TaskFailedError(stage.name, worker, attempt)
+            backoff = plan.backoff_seconds(attempt)
+            restore = model.checkpoint_restore_units(input_bytes)
+            penalty = backoff * model.core_ops_per_second + restore
+            stage.charge(worker, penalty)
+            metrics.tasks_retried += 1
+            metrics.recovery_seconds += model.cpu_seconds(units + penalty)
+        if plan.straggles(key, worker) and units > 0.0:
+            # Left alone the task runs ``slowdown`` times slower; the
+            # speculative copy kicks in at detection and replays from the
+            # checkpoint, whichever finishes first wins.
+            crawl = units * (plan.straggler_slowdown - 1.0)
+            speculate = (units * plan.straggler_detect_factor
+                         + model.checkpoint_restore_units(input_bytes))
+            extra = min(crawl, speculate)
+            stage.charge(worker, extra)
+            metrics.stragglers_detected += 1
+            metrics.recovery_seconds += model.cpu_seconds(extra)
+        return result
+
+    def guard_record(self, join_name: str, phase: str, fn, *args,
+                     detail=None):
+        """Invoke a per-record FUDJ callback under the error policy.
+
+        Returns ``(ok, value)``: on success ``(True, result)``; when the
+        callback raises and the policy is ``skip`` or ``quarantine`` the
+        record is dropped and ``(False, None)`` comes back.  ``fail``
+        re-raises as :class:`~repro.errors.FudjCallbackError`.  ``detail``
+        is the poison record (or key pair) — rendered into the quarantine
+        report only when an error actually fires.
+        """
+        from repro.errors import FudjCallbackError
+
+        try:
+            return True, fn(*args)
+        except Exception as exc:
+            if self.on_error == "fail" or isinstance(exc, QueryTimeoutError):
+                if isinstance(exc, FudjCallbackError):
+                    raise
+                raise FudjCallbackError(join_name, phase, exc) from exc
+            if self.on_error == "quarantine":
+                self.metrics.note_quarantine(
+                    phase, join_name, exc,
+                    None if detail is None else repr(detail),
+                )
+            else:  # skip: count the drop, keep no report
+                self.metrics.records_quarantined += 1
+            return False, None
 
     def finish(self) -> QueryMetrics:
         """Fold translator counters into the metrics and return them."""

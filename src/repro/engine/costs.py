@@ -58,6 +58,12 @@ class CostModel:
     #: test fails before the exact geometry test runs), so a non-matching
     #: evaluation costs this fraction of the full predicate.
     reject_discount: float = 0.15
+    #: Work units per byte spooled to the local checkpoint store at an
+    #: exchange.  Checkpoint writes are asynchronous write-behind (the
+    #: stage does not wait for the disk), so the charge is a fraction of
+    #: a serde unit — calibrated so checkpointing costs <= ~5% of a
+    #: query's simulated makespan when no faults fire.
+    checkpoint_byte: float = 0.015
 
     def predicate_units(self, full_cost: float, matched: bool) -> float:
         """Work units one predicate evaluation costs, given its outcome."""
@@ -85,6 +91,17 @@ class CostModel:
             return 0.0
         seconds = 2.0 * overflow / self.disk_bytes_per_second
         return seconds * self.core_ops_per_second
+
+    def checkpoint_write_units(self, num_bytes: float) -> float:
+        """Work units to spool exchange output to the checkpoint store."""
+        return num_bytes * self.checkpoint_byte
+
+    def checkpoint_restore_units(self, num_bytes: float) -> float:
+        """Work units for a recovering task to read its input back:
+        the checkpoint is scanned from local disk and deserialized."""
+        disk_seconds = num_bytes / self.disk_bytes_per_second
+        return (disk_seconds * self.core_ops_per_second
+                + num_bytes * self.serde_byte)
 
 
 DEFAULT_COST_MODEL = CostModel()

@@ -4,11 +4,18 @@ Exchanges are the only operators that move records between workers, so
 they are the only place network bytes are charged.  Records are serialized
 for real (unless the context's ``measure_bytes`` speed knob is off, in
 which case sizes are extrapolated from a per-partition sample).
+
+Exchanges are also the engine's recovery boundary: with a fault plan
+active, each worker's send is retried through injected transient link
+failures (re-sent bytes and backoff charged to the sender), and the
+received partitions are spooled to the local checkpoint store so a
+downstream task that crashes replays one stage, not the whole plan.
 """
 
 from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
+from repro.engine.faults import apply_exchange_faults, charge_checkpoint
 
 _SIZE_SAMPLE = 32
 
@@ -45,7 +52,10 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
         moved_bytes = _partition_bytes(moved, ctx)
         stage.network_bytes += moved_bytes
         stage.charge(worker, moved_bytes * model.serde_byte)
+        apply_exchange_faults(ctx, stage, worker, moved_bytes)
         stage.records_in += len(partition)
+    for worker, partition in enumerate(out):
+        charge_checkpoint(ctx, stage, worker, _partition_bytes(partition, ctx))
     stage.records_out = sum(len(p) for p in out)
     return out
 
@@ -68,6 +78,11 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
             worker,
             len(everything) * model.record_touch + total_bytes * model.serde_byte,
         )
+        # A flaky link to one receiver forces a re-send of its whole copy.
+        apply_exchange_faults(ctx, stage, worker, total_bytes)
+    # One checkpoint copy covers every replica (the data is identical),
+    # charged to the worker that holds the canonical copy.
+    charge_checkpoint(ctx, stage, 0, total_bytes)
     stage.records_in = len(everything)
     stage.records_out = len(everything) * ctx.num_partitions
     return [list(everything) for _ in range(ctx.num_partitions)]
@@ -93,6 +108,9 @@ def random_exchange(partitions, ctx: ExecutionContext,
         moved_bytes = _partition_bytes(moved, ctx)
         stage.network_bytes += moved_bytes
         stage.charge(worker, moved_bytes * model.serde_byte)
+        apply_exchange_faults(ctx, stage, worker, moved_bytes)
         stage.records_in += len(partition)
+    for worker, partition in enumerate(out):
+        charge_checkpoint(ctx, stage, worker, _partition_bytes(partition, ctx))
     stage.records_out = sum(len(p) for p in out)
     return out

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.engine.cluster import Cluster
 from repro.engine.context import ExecutionContext
+from repro.engine.faults import FaultPlan
 from repro.engine.metrics import QueryMetrics
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
 
@@ -35,13 +36,32 @@ class QueryResult:
 
 
 def execute_plan(plan: PhysicalOperator, cluster: Cluster,
-                 measure_bytes: bool = True) -> QueryResult:
-    """Execute a physical plan on a cluster and collect rows + metrics."""
-    ctx = ExecutionContext(cluster, measure_bytes=measure_bytes)
+                 measure_bytes: bool = True, fault_plan: FaultPlan = None,
+                 on_error: str = "fail",
+                 timeout_seconds: float = None) -> QueryResult:
+    """Execute a physical plan on a cluster and collect rows + metrics.
+
+    Args:
+        plan: the physical plan to run.
+        cluster: the simulated cluster holding the datasets.
+        measure_bytes: exact (True) vs sampled shuffle byte accounting.
+        fault_plan: optional seeded fault injection + recovery schedule.
+        on_error: degraded-mode policy for per-record FUDJ callbacks
+            (``fail`` / ``skip`` / ``quarantine``).
+        timeout_seconds: per-query wall-clock budget; exceeding it raises
+            :class:`~repro.errors.QueryTimeoutError` at the next
+            cancellation point.
+    """
+    ctx = ExecutionContext(
+        cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
+        on_error=on_error, timeout_seconds=timeout_seconds,
+    )
     started = time.perf_counter()
     result: OperatorResult = plan.execute(ctx)
-    ctx.metrics.wall_seconds = time.perf_counter() - started
     metrics = ctx.finish()
     metrics.output_records = len(result)
     rows = [record.to_dict() for record in result.all_records()]
+    # Stamp the wall clock only after row materialization — building the
+    # result dicts is part of what the caller waits for.
+    metrics.wall_seconds = time.perf_counter() - started
     return QueryResult(rows, result.schema.fields, metrics)

@@ -49,6 +49,10 @@ class StageMetrics:
 class QueryMetrics:
     """All charges for one query execution plus wall-clock bookkeeping."""
 
+    #: Quarantine reports are capped so a wholly poisoned input cannot
+    #: balloon the metrics object; the counter keeps the true total.
+    MAX_QUARANTINE_REPORT = 50
+
     def __init__(self, cost_model: CostModel = None) -> None:
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.stages = []
@@ -57,6 +61,28 @@ class QueryMetrics:
         self.translation_conversions = 0
         self.comparisons = 0
         self.output_records = 0
+        # -- fault tolerance ---------------------------------------------------
+        #: Compute task attempts that were lost and replayed.
+        self.tasks_retried = 0
+        #: Transient shuffle sends that had to be re-transmitted.
+        self.exchange_retries = 0
+        #: Tasks that straggled and were cut short by a speculative copy.
+        self.stragglers_detected = 0
+        #: Poison records dropped by the ``skip``/``quarantine`` policies.
+        self.records_quarantined = 0
+        #: Simulated seconds of pure fault-tolerance overhead (wasted
+        #: work, backoff, checkpoint restores, re-sent bytes).  Already
+        #: included in :meth:`simulated_seconds` via the stage charges;
+        #: surfaced separately so ablations can subtract it.
+        self.recovery_seconds = 0.0
+        #: Bytes spooled to the checkpoint store at exchanges.
+        self.checkpoint_bytes = 0.0
+        #: Per-phase details of quarantined records (quarantine policy
+        #: only; capped at MAX_QUARANTINE_REPORT entries).
+        self.quarantine_log = []
+        #: Invoked with each newly created stage — the execution context
+        #: uses it as a cancellation point for query timeouts.
+        self.stage_observer = None
 
     def stage(self, name: str) -> StageMetrics:
         """Return (creating if needed) the stage named ``name``."""
@@ -64,7 +90,33 @@ class QueryMetrics:
             stage = StageMetrics(name)
             self._stage_index[name] = stage
             self.stages.append(stage)
+            if self.stage_observer is not None:
+                self.stage_observer(stage)
         return self._stage_index[name]
+
+    def note_quarantine(self, phase: str, join_name: str, error: Exception,
+                        detail: str = None) -> None:
+        """Record one poison record dropped by a degraded-mode policy."""
+        self.records_quarantined += 1
+        if len(self.quarantine_log) < self.MAX_QUARANTINE_REPORT:
+            self.quarantine_log.append({
+                "phase": phase,
+                "join": join_name,
+                "error": f"{type(error).__name__}: {error}",
+                "record": detail,
+            })
+
+    def quarantine_report(self) -> dict:
+        """Quarantined-record counts and sample errors grouped by phase."""
+        report = {}
+        for entry in self.quarantine_log:
+            bucket = report.setdefault(
+                entry["phase"], {"count": 0, "errors": []}
+            )
+            bucket["count"] += 1
+            if len(bucket["errors"]) < 5:
+                bucket["errors"].append(entry["error"])
+        return report
 
     # -- aggregate views ------------------------------------------------------
 
@@ -124,7 +176,23 @@ class QueryMetrics:
                 )
                 row += f" {seconds * 1000:>9.3f}"
             lines.append(row)
+        fault_line = self.fault_summary_line()
+        if fault_line:
+            lines.append(fault_line)
         return "\n".join(lines)
+
+    def fault_summary_line(self) -> str:
+        """One-line fault-tolerance accounting, empty when nothing fired."""
+        if not (self.tasks_retried or self.exchange_retries
+                or self.stragglers_detected or self.records_quarantined):
+            return ""
+        return (
+            f"fault tolerance: {self.tasks_retried} task retries, "
+            f"{self.exchange_retries} exchange retries, "
+            f"{self.stragglers_detected} stragglers, "
+            f"{self.records_quarantined} quarantined, "
+            f"recovery {self.recovery_seconds * 1000:.2f} ms"
+        )
 
     def summary(self) -> dict:
         """A flat dict of headline numbers, handy for bench tables."""
@@ -136,6 +204,12 @@ class QueryMetrics:
             "translation_conversions": self.translation_conversions,
             "output_records": self.output_records,
             "stages": len(self.stages),
+            "tasks_retried": self.tasks_retried,
+            "exchange_retries": self.exchange_retries,
+            "stragglers_detected": self.stragglers_detected,
+            "records_quarantined": self.records_quarantined,
+            "recovery_seconds": self.recovery_seconds,
+            "checkpoint_bytes": self.checkpoint_bytes,
         }
 
     def __repr__(self) -> str:

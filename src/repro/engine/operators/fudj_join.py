@@ -20,6 +20,16 @@ Every FUDJ callback goes through the translation layer (Figure 7) so
 engine values are unboxed to plain Python values first; built-in operator
 baselines bypass the layer (``translate=False``), which is exactly the
 overhead gap measured in paper §VII-B.
+
+Fault tolerance: every per-worker phase body runs as a *task* through
+:meth:`ExecutionContext.run_task`, so an active fault plan can crash or
+straggle it and the engine replays just that task from the exchange
+checkpoints (lineage-style recovery).  Per-record callbacks
+(``local_aggregate``, ``assign``, ``verify``, ``match``) additionally
+honor the context's degraded-mode policy: under ``skip``/``quarantine``
+a poison record is dropped (and reported) instead of aborting the query.
+Phases with no single culprit record (``global_aggregate``, ``divide``,
+``local_join``, ``dedup``) always fail hard.
 """
 
 from __future__ import annotations
@@ -29,31 +39,21 @@ from collections import defaultdict
 from repro.core.dedup import DedupStrategy, strategy_for
 from repro.core.flexible_join import FlexibleJoin, JoinSide
 from repro.engine.context import ExecutionContext
-from repro.engine.exchange import broadcast_exchange, hash_exchange, random_exchange
+from repro.engine.exchange import hash_exchange
+from repro.engine.faults import apply_exchange_faults, charge_checkpoint
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, FudjCallbackError
 
-
-class FudjCallbackError(ExecutionError):
-    """A user FUDJ callback raised or returned something unusable.
-
-    Carries the join name and the phase (summarize/divide/assign/match/
-    verify/dedup) so a developer debugging a join library sees where the
-    engine was, not just a raw traceback from deep inside an operator.
-    """
-
-    def __init__(self, join_name: str, phase: str, original: Exception) -> None:
-        super().__init__(
-            f"FUDJ {join_name!r} failed in {phase}: "
-            f"{type(original).__name__}: {original}"
-        )
-        self.join_name = join_name
-        self.phase = phase
-        self.original = original
+__all__ = ["FudjCallbackError", "FudjJoin"]
 
 
 def _guard(join, phase: str, fn, *args):
-    """Invoke a user callback, wrapping any failure with phase context."""
+    """Invoke a user callback, wrapping any failure with phase context.
+
+    Used for the phases that must fail hard regardless of the error
+    policy — a broken ``divide`` or ``global_aggregate`` leaves no plan
+    to continue with.
+    """
     try:
         return fn(*args)
     except FudjCallbackError:
@@ -132,6 +132,24 @@ class FudjJoin(PhysicalOperator):
     def _key_cost(self, ctx: ExecutionContext) -> float:
         return ctx.cost_model.translation if self.translate else 0.0
 
+    # -- degraded-mode callback wrappers -----------------------------------------
+
+    def _safe_verify(self, ctx: ExecutionContext, key1, key2, pplan) -> bool:
+        """``verify`` under the error policy: a raising pair is treated
+        as a non-match (and quarantined) instead of aborting."""
+        ok, matched = ctx.guard_record(
+            self.join.name, "verify", self.join.verify, key1, key2, pplan,
+            detail=(key1, key2),
+        )
+        return bool(matched) if ok else False
+
+    def _safe_match(self, ctx: ExecutionContext, bucket1, bucket2) -> bool:
+        ok, matched = ctx.guard_record(
+            self.join.name, "match", self.join.match, bucket1, bucket2,
+            detail=(bucket1, bucket2),
+        )
+        return bool(matched) if ok else False
+
     # -- phase 1: SUMMARIZE ------------------------------------------------------
 
     def _summarize_side(self, result: OperatorResult, key_fn, side: JoinSide,
@@ -140,17 +158,28 @@ class FudjJoin(PhysicalOperator):
         model = ctx.cost_model
         key_cost = self._key_cost(ctx)
         step = max(1, round(1.0 / self.summarize_sample))
+        join = self.join
         partials = []
         for worker, partition in enumerate(result.partitions):
-            summary = None
             sampled = partition if step == 1 else partition[::step]
-            for record in sampled:
-                key = self._external_key(record, key_fn, ctx)
-                summary = _guard(self.join, "local_aggregate",
-                                 self.join.local_aggregate, key, summary, side)
-            stage.charge(
-                worker, len(sampled) * (model.record_touch + key_cost)
-            )
+
+            def task(worker=worker, sampled=sampled):
+                summary = None
+                for record in sampled:
+                    key = self._external_key(record, key_fn, ctx)
+                    ok, folded = ctx.guard_record(
+                        join.name, "local_aggregate",
+                        join.local_aggregate, key, summary, side,
+                        detail=record,
+                    )
+                    if ok:
+                        summary = folded
+                stage.charge(
+                    worker, len(sampled) * (model.record_touch + key_cost)
+                )
+                return summary
+
+            summary = ctx.run_task(stage, worker, task)
             if summary is not None:
                 partials.append(summary)
         # Global merge at the coordinator; partial summaries are tiny, so
@@ -161,8 +190,8 @@ class FudjJoin(PhysicalOperator):
             if merged is None:
                 merged = partial
             else:
-                merged = _guard(self.join, "global_aggregate",
-                                self.join.global_aggregate, merged, partial, side)
+                merged = _guard(join, "global_aggregate",
+                                join.global_aggregate, merged, partial, side)
             stage.charge(0, model.record_touch)
         stage.records_in = len(result)
         return merged
@@ -175,30 +204,43 @@ class FudjJoin(PhysicalOperator):
         stage = ctx.metrics.stage(f"{self.stage_name}/assign-{side.value}")
         model = ctx.cost_model
         key_cost = self._key_cost(ctx)
+        join = self.join
         out = []
+
+        def checked_assign(key):
+            bucket_ids = join.assign_list(key, pplan, side)
+            for bucket_id in bucket_ids:
+                if not isinstance(bucket_id, int):
+                    raise TypeError(
+                        f"bucket ids must be ints, got "
+                        f"{type(bucket_id).__name__}: {bucket_id!r}"
+                    )
+            return bucket_ids
+
         for worker, partition in enumerate(result.partitions):
-            rows = []
-            assignments = 0
-            for record in partition:
-                key = self._external_key(record, key_fn, ctx)
-                bucket_ids = _guard(self.join, "assign",
-                                    self.join.assign_list, key, pplan, side)
-                assignments += len(bucket_ids)
-                for bucket_id in bucket_ids:
-                    if not isinstance(bucket_id, int):
-                        raise FudjCallbackError(
-                            self.join.name, "assign",
-                            TypeError(
-                                f"bucket ids must be ints, got "
-                                f"{type(bucket_id).__name__}: {bucket_id!r}"
-                            ),
-                        )
-                    rows.append((bucket_id, key, record))
-            stage.charge(
-                worker,
-                len(partition) * (model.record_touch + key_cost)
-                + assignments * model.hash_op,
-            )
+
+            def task(worker=worker, partition=partition):
+                rows = []
+                assignments = 0
+                for record in partition:
+                    key = self._external_key(record, key_fn, ctx)
+                    ok, bucket_ids = ctx.guard_record(
+                        join.name, "assign", checked_assign, key,
+                        detail=record,
+                    )
+                    if not ok:
+                        continue
+                    assignments += len(bucket_ids)
+                    for bucket_id in bucket_ids:
+                        rows.append((bucket_id, key, record))
+                stage.charge(
+                    worker,
+                    len(partition) * (model.record_touch + key_cost)
+                    + assignments * model.hash_op,
+                )
+                return rows
+
+            rows = ctx.run_task(stage, worker, task)
             stage.records_in += len(partition)
             stage.records_out += len(rows)
             out.append(rows)
@@ -252,6 +294,13 @@ class FudjJoin(PhysicalOperator):
         ctx.metrics.output_records = len(result)
         return result
 
+    def _restore_bytes(self, ctx: ExecutionContext, *entry_lists) -> float:
+        """Checkpoint-restore size of a combine task's input, only
+        computed when a fault plan could actually charge it."""
+        if ctx.fault_plan is None or not ctx.fault_plan.any_faults():
+            return 0.0
+        return float(sum(_entry_bytes(entries, ctx) for entries in entry_lists))
+
     def _combine_single_join(self, left_assigned, right_assigned, pplan,
                              out_schema, ctx: ExecutionContext) -> list:
         """Hash-partition both sides on bucket id; join equal buckets."""
@@ -269,50 +318,63 @@ class FudjJoin(PhysicalOperator):
         )
         out = []
         for worker in range(ctx.num_partitions):
-            table = defaultdict(list)
-            build_bytes = 0
-            for bucket_id, key, record in left_parts[worker]:
-                table[bucket_id].append((key, record))
-                build_bytes += 9 + record.serialized_size()
-            stage.charge(
-                worker,
-                len(left_parts[worker]) * model.hash_op
-                + model.spill_units(build_bytes),
-            )
-            rows = []
-            verify_units = 0.0
-            dedup_checks = 0
-            tag = self._tag_pair if self.dedup.requires_shuffle else None
-            if self.join.has_local_join():
-                rows, dedup_checks, verify_units = self._join_buckets_local(
-                    table, right_parts[worker], pplan, out_schema, ctx, tag
+            left_entries = left_parts[worker]
+            right_entries = right_parts[worker]
+
+            def task(worker=worker, left_entries=left_entries,
+                     right_entries=right_entries):
+                table = defaultdict(list)
+                build_bytes = 0
+                for bucket_id, key, record in left_entries:
+                    table[bucket_id].append((key, record))
+                    build_bytes += 9 + record.serialized_size()
+                stage.charge(
+                    worker,
+                    len(left_entries) * model.hash_op
+                    + model.spill_units(build_bytes),
                 )
-            else:
-                # Both verify and dedup are pure predicates, so the engine
-                # runs the cheap duplicate check first and pays the
-                # expensive verification only for pairs this worker owns.
-                for bucket_id, key2, record2 in right_parts[worker]:
-                    for key1, record1 in table.get(bucket_id, ()):
-                        dedup_checks += 1
-                        if not self.dedup.keep_local(
-                            self.join, bucket_id, key1, bucket_id, key2, pplan
-                        ):
-                            continue
-                        matched = self.join.verify(key1, key2, pplan)
-                        verify_units += model.predicate_units(v_cost, matched)
-                        if not matched:
-                            continue
-                        joined = record1.concat(record2, out_schema)
-                        rows.append(
-                            tag(record1, record2, joined) if tag else joined
-                        )
-            stage.charge(
-                worker,
-                len(right_parts[worker]) * model.hash_op
-                + verify_units
-                + dedup_checks * model.comparison,
+                rows = []
+                verify_units = 0.0
+                dedup_checks = 0
+                tag = self._tag_pair if self.dedup.requires_shuffle else None
+                if self.join.has_local_join():
+                    rows, dedup_checks, verify_units = self._join_buckets_local(
+                        table, right_entries, pplan, out_schema, ctx, tag
+                    )
+                else:
+                    # Both verify and dedup are pure predicates, so the
+                    # engine runs the cheap duplicate check first and pays
+                    # the expensive verification only for pairs this
+                    # worker owns.
+                    for bucket_id, key2, record2 in right_entries:
+                        for key1, record1 in table.get(bucket_id, ()):
+                            dedup_checks += 1
+                            if not self.dedup.keep_local(
+                                self.join, bucket_id, key1, bucket_id, key2,
+                                pplan
+                            ):
+                                continue
+                            matched = self._safe_verify(ctx, key1, key2, pplan)
+                            verify_units += model.predicate_units(v_cost, matched)
+                            if not matched:
+                                continue
+                            joined = record1.concat(record2, out_schema)
+                            rows.append(
+                                tag(record1, record2, joined) if tag else joined
+                            )
+                stage.charge(
+                    worker,
+                    len(right_entries) * model.hash_op
+                    + verify_units
+                    + dedup_checks * model.comparison,
+                )
+                ctx.metrics.comparisons += dedup_checks
+                return rows
+
+            rows = ctx.run_task(
+                stage, worker, task,
+                self._restore_bytes(ctx, left_entries, right_entries),
             )
-            ctx.metrics.comparisons += dedup_checks
             stage.records_out += len(rows)
             out.append(rows)
         return out
@@ -342,47 +404,58 @@ class FudjJoin(PhysicalOperator):
         )
         out = []
         for worker in range(ctx.num_partitions):
+            left_entries = left_parts[worker]
             broadcast = right_parts[worker]
-            # Every worker materializes the whole broadcast side — per-node
-            # work that does not shrink as the cluster grows (and spills
-            # when it exceeds the worker's memory budget).
-            broadcast_bytes = sum(9 + r.serialized_size() for _, _, r in broadcast)
-            stage.charge(
-                worker,
-                (len(left_parts[worker]) + len(broadcast)) * model.hash_op
-                + model.spill_units(broadcast_bytes),
+
+            def task(worker=worker, left_entries=left_entries,
+                     broadcast=broadcast):
+                # Every worker materializes the whole broadcast side —
+                # per-node work that does not shrink as the cluster grows
+                # (and spills when it exceeds the worker's memory budget).
+                broadcast_bytes = sum(
+                    9 + r.serialized_size() for _, _, r in broadcast
+                )
+                stage.charge(
+                    worker,
+                    (len(left_entries) + len(broadcast)) * model.hash_op
+                    + model.spill_units(broadcast_bytes),
+                )
+                rows = []
+                match_checks = 0
+                verify_units = 0.0
+                dedup_checks = 0
+                for b1, key1, record1 in left_entries:
+                    for b2, key2, record2 in broadcast:
+                        match_checks += 1
+                        if not self._safe_match(ctx, b1, b2):
+                            continue
+                        dedup_checks += 1
+                        if not self.dedup.keep_local(
+                            self.join, b1, key1, b2, key2, pplan
+                        ):
+                            continue
+                        matched = self._safe_verify(ctx, key1, key2, pplan)
+                        verify_units += model.predicate_units(v_cost, matched)
+                        if not matched:
+                            continue
+                        joined = record1.concat(record2, out_schema)
+                        rows.append(
+                            self._tag_pair(record1, record2, joined)
+                            if self.dedup.requires_shuffle else joined
+                        )
+                stage.charge(
+                    worker,
+                    match_checks * model.match_op
+                    + verify_units
+                    + dedup_checks * model.comparison,
+                )
+                ctx.metrics.comparisons += dedup_checks
+                return rows
+
+            rows = ctx.run_task(
+                stage, worker, task,
+                self._restore_bytes(ctx, left_entries, broadcast),
             )
-            rows = []
-            match_checks = 0
-            verify_units = 0.0
-            dedup_checks = 0
-            match = self.join.match
-            for b1, key1, record1 in left_parts[worker]:
-                for b2, key2, record2 in broadcast:
-                    match_checks += 1
-                    if not match(b1, b2):
-                        continue
-                    dedup_checks += 1
-                    if not self.dedup.keep_local(
-                        self.join, b1, key1, b2, key2, pplan
-                    ):
-                        continue
-                    matched = self.join.verify(key1, key2, pplan)
-                    verify_units += model.predicate_units(v_cost, matched)
-                    if not matched:
-                        continue
-                    joined = record1.concat(record2, out_schema)
-                    rows.append(
-                        self._tag_pair(record1, record2, joined)
-                        if self.dedup.requires_shuffle else joined
-                    )
-            stage.charge(
-                worker,
-                match_checks * model.match_op
-                + verify_units
-                + dedup_checks * model.comparison,
-            )
-            ctx.metrics.comparisons += dedup_checks
             stage.records_out += len(rows)
             out.append(rows)
         return out
@@ -416,14 +489,19 @@ class FudjJoin(PhysicalOperator):
         model = ctx.cost_model
         out = []
         for worker, partition in enumerate(shuffled):
-            seen = set()
-            rows = []
-            for entry in partition:
-                if entry.pair_id in seen:
-                    continue
-                seen.add(entry.pair_id)
-                rows.append(entry.record)
-            stage.charge(worker, len(partition) * model.hash_op)
+
+            def task(worker=worker, partition=partition):
+                seen = set()
+                rows = []
+                for entry in partition:
+                    if entry.pair_id in seen:
+                        continue
+                    seen.add(entry.pair_id)
+                    rows.append(entry.record)
+                stage.charge(worker, len(partition) * model.hash_op)
+                return rows
+
+            rows = ctx.run_task(stage, worker, task)
             stage.records_in += len(partition)
             stage.records_out += len(rows)
             out.append(rows)
@@ -479,7 +557,7 @@ class FudjJoin(PhysicalOperator):
                     self.join, bucket_id, key1, bucket_id, key2, pplan
                 ):
                     continue
-                matched = self.join.verify(key1, key2, pplan)
+                matched = self._safe_verify(ctx, key1, key2, pplan)
                 verify_units += model.predicate_units(v_cost, matched)
                 if not matched:
                     continue
@@ -517,69 +595,49 @@ class FudjJoin(PhysicalOperator):
         join = self.join
         out = []
         for worker in range(num):
-            local_right = right_parts[worker]
-            stage.charge(
-                worker,
-                (len(left_parts[worker]) + len(local_right)) * model.hash_op,
-            )
-            rows = []
-            match_checks = 0
-            verify_units = 0.0
-            dedup_checks = 0
-            part_cache = {}
-
-            def parts_of(bucket_id):
-                found = part_cache.get(bucket_id)
-                if found is None:
-                    found = set(join.partition_buckets(bucket_id, num, pplan))
-                    part_cache[bucket_id] = found
-                return found
-
             local_left = left_parts[worker]
-            if join.has_local_join():
-                # A custom local algorithm (e.g. a sort-merge forward
-                # scan) enumerates candidates instead of the NLJ; the
-                # ownership check and verify still run per candidate.
-                keys1 = [entry[1] for entry in local_left]
-                keys2 = [entry[1] for entry in local_right]
-                match_checks = len(keys1) + len(keys2)  # sort/setup charge
-                for i, j in join.local_join(keys1, keys2, pplan):
-                    b1, key1, record1 = local_left[i]
-                    b2, key2, record2 = local_right[j]
-                    if not join.match(b1, b2):
-                        continue
-                    shared = parts_of(b1) & parts_of(b2)
-                    if min(shared) != worker:
-                        continue
-                    dedup_checks += 1
-                    if not self.dedup.keep_local(
-                        join, b1, key1, b2, key2, pplan
-                    ):
-                        continue
-                    matched = join.verify(key1, key2, pplan)
-                    verify_units += model.predicate_units(v_cost, matched)
-                    if not matched:
-                        continue
-                    joined = record1.concat(record2, out_schema)
-                    rows.append(
-                        self._tag_pair(record1, record2, joined)
-                        if self.dedup.requires_shuffle else joined
-                    )
-            else:
-                for b1, key1, record1 in local_left:
-                    for b2, key2, record2 in local_right:
-                        match_checks += 1
-                        if not join.match(b1, b2):
+            local_right = right_parts[worker]
+
+            def task(worker=worker, local_left=local_left,
+                     local_right=local_right):
+                stage.charge(
+                    worker,
+                    (len(local_left) + len(local_right)) * model.hash_op,
+                )
+                rows = []
+                match_checks = 0
+                verify_units = 0.0
+                dedup_checks = 0
+                part_cache = {}
+
+                def parts_of(bucket_id):
+                    found = part_cache.get(bucket_id)
+                    if found is None:
+                        found = set(join.partition_buckets(bucket_id, num, pplan))
+                        part_cache[bucket_id] = found
+                    return found
+
+                if join.has_local_join():
+                    # A custom local algorithm (e.g. a sort-merge forward
+                    # scan) enumerates candidates instead of the NLJ; the
+                    # ownership check and verify still run per candidate.
+                    keys1 = [entry[1] for entry in local_left]
+                    keys2 = [entry[1] for entry in local_right]
+                    match_checks = len(keys1) + len(keys2)  # sort/setup charge
+                    for i, j in join.local_join(keys1, keys2, pplan):
+                        b1, key1, record1 = local_left[i]
+                        b2, key2, record2 = local_right[j]
+                        if not self._safe_match(ctx, b1, b2):
                             continue
                         shared = parts_of(b1) & parts_of(b2)
                         if min(shared) != worker:
-                            continue  # another partition owns this pair
+                            continue
                         dedup_checks += 1
                         if not self.dedup.keep_local(
                             join, b1, key1, b2, key2, pplan
                         ):
                             continue
-                        matched = join.verify(key1, key2, pplan)
+                        matched = self._safe_verify(ctx, key1, key2, pplan)
                         verify_units += model.predicate_units(v_cost, matched)
                         if not matched:
                             continue
@@ -588,13 +646,42 @@ class FudjJoin(PhysicalOperator):
                             self._tag_pair(record1, record2, joined)
                             if self.dedup.requires_shuffle else joined
                         )
-            stage.charge(
-                worker,
-                match_checks * model.match_op
-                + verify_units
-                + dedup_checks * model.comparison,
+                else:
+                    for b1, key1, record1 in local_left:
+                        for b2, key2, record2 in local_right:
+                            match_checks += 1
+                            if not self._safe_match(ctx, b1, b2):
+                                continue
+                            shared = parts_of(b1) & parts_of(b2)
+                            if min(shared) != worker:
+                                continue  # another partition owns this pair
+                            dedup_checks += 1
+                            if not self.dedup.keep_local(
+                                join, b1, key1, b2, key2, pplan
+                            ):
+                                continue
+                            matched = self._safe_verify(ctx, key1, key2, pplan)
+                            verify_units += model.predicate_units(v_cost, matched)
+                            if not matched:
+                                continue
+                            joined = record1.concat(record2, out_schema)
+                            rows.append(
+                                self._tag_pair(record1, record2, joined)
+                                if self.dedup.requires_shuffle else joined
+                            )
+                stage.charge(
+                    worker,
+                    match_checks * model.match_op
+                    + verify_units
+                    + dedup_checks * model.comparison,
+                )
+                ctx.metrics.comparisons += dedup_checks
+                return rows
+
+            rows = ctx.run_task(
+                stage, worker, task,
+                self._restore_bytes(ctx, local_left, local_right),
             )
-            ctx.metrics.comparisons += dedup_checks
             stage.records_out += len(rows)
             out.append(rows)
         return out
@@ -632,7 +719,10 @@ def _exchange_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -
         moved_bytes = _entry_bytes(moved, ctx)
         stage.network_bytes += moved_bytes
         stage.charge(worker, moved_bytes * model.serde_byte)
+        apply_exchange_faults(ctx, stage, worker, moved_bytes)
         stage.records_in += len(entries)
+    for worker, entries in enumerate(out):
+        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
     stage.records_out = sum(len(p) for p in out)
     return out
 
@@ -655,7 +745,10 @@ def _spread_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> 
         moved_bytes = _entry_bytes(moved, ctx)
         stage.network_bytes += moved_bytes
         stage.charge(worker, moved_bytes * model.serde_byte)
+        apply_exchange_faults(ctx, stage, worker, moved_bytes)
         stage.records_in += len(entries)
+    for worker, entries in enumerate(out):
+        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
     stage.records_out = sum(len(p) for p in out)
     return out
 
@@ -678,7 +771,10 @@ def _route_partitioned(assigned: list, join, num: int, pplan,
         moved_bytes = _entry_bytes(moved, ctx)
         stage.network_bytes += moved_bytes
         stage.charge(worker, moved_bytes * model.serde_byte)
+        apply_exchange_faults(ctx, stage, worker, moved_bytes)
         stage.records_in += len(entries)
+    for worker, entries in enumerate(out):
+        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
     stage.records_out = sum(len(p) for p in out)
     return out
 
@@ -695,6 +791,10 @@ def _broadcast_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) 
             worker,
             len(everything) * model.record_touch + total_bytes * model.serde_byte,
         )
+        # A flaky link to one receiver forces a re-send of its whole copy.
+        apply_exchange_faults(ctx, stage, worker, total_bytes)
+    # One checkpoint copy covers every replica (the data is identical).
+    charge_checkpoint(ctx, stage, 0, total_bytes)
     stage.records_in = len(everything)
     stage.records_out = len(everything) * ctx.num_partitions
     return [list(everything) for _ in range(ctx.num_partitions)]

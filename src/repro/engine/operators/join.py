@@ -61,34 +61,39 @@ class HashJoin(PhysicalOperator):
         )
         out = []
         for worker in range(ctx.num_partitions):
-            table = defaultdict(list)
-            build_bytes = 0
-            for record in left_parts[worker]:
-                table[self.left_key(record)].append(record)
-                build_bytes += record.serialized_size()
-            stage.charge(
-                worker,
-                len(left_parts[worker]) * model.hash_op
-                + model.spill_units(build_bytes),
-            )
-            rows = []
-            probes = 0
-            pairs = 0
-            for r_record in right_parts[worker]:
-                probes += 1
-                for l_record in table.get(self.right_key(r_record), ()):
-                    pairs += 1
-                    joined = l_record.concat(r_record, schema)
-                    if self.residual is not None and not self.residual(joined):
-                        continue
-                    rows.append(joined)
-            stage.charge(
-                worker,
-                probes * model.hash_op
-                + pairs * (model.record_touch + (res_cost if self.residual else 0)),
-            )
-            ctx.metrics.comparisons += pairs
-            out.append(rows)
+
+            def task(worker=worker):
+                table = defaultdict(list)
+                build_bytes = 0
+                for record in left_parts[worker]:
+                    table[self.left_key(record)].append(record)
+                    build_bytes += record.serialized_size()
+                stage.charge(
+                    worker,
+                    len(left_parts[worker]) * model.hash_op
+                    + model.spill_units(build_bytes),
+                )
+                rows = []
+                probes = 0
+                pairs = 0
+                for r_record in right_parts[worker]:
+                    probes += 1
+                    for l_record in table.get(self.right_key(r_record), ()):
+                        pairs += 1
+                        joined = l_record.concat(r_record, schema)
+                        if self.residual is not None and not self.residual(joined):
+                            continue
+                        rows.append(joined)
+                stage.charge(
+                    worker,
+                    probes * model.hash_op
+                    + pairs * (model.record_touch
+                               + (res_cost if self.residual else 0)),
+                )
+                ctx.metrics.comparisons += pairs
+                return rows
+
+            out.append(ctx.run_task(stage, worker, task))
         stage.records_in = len(left) + len(right)
         stage.records_out = sum(len(p) for p in out)
         return OperatorResult(out, schema)
@@ -147,21 +152,25 @@ class BlockNestedLoopJoin(PhysicalOperator):
         )
         out = []
         for worker in range(ctx.num_partitions):
-            rows = []
-            broadcast = right_parts[worker]
-            pairs = 0
-            units = 0.0
-            for l_record in left_parts[worker]:
-                for r_record in broadcast:
-                    pairs += 1
-                    joined = l_record.concat(r_record, schema)
-                    matched = bool(self.predicate(joined))
-                    units += model.predicate_units(pair_cost, matched)
-                    if matched:
-                        rows.append(joined)
-            stage.charge(worker, units)
-            ctx.metrics.comparisons += pairs
-            out.append(rows)
+
+            def task(worker=worker):
+                rows = []
+                broadcast = right_parts[worker]
+                pairs = 0
+                units = 0.0
+                for l_record in left_parts[worker]:
+                    for r_record in broadcast:
+                        pairs += 1
+                        joined = l_record.concat(r_record, schema)
+                        matched = bool(self.predicate(joined))
+                        units += model.predicate_units(pair_cost, matched)
+                        if matched:
+                            rows.append(joined)
+                stage.charge(worker, units)
+                ctx.metrics.comparisons += pairs
+                return rows
+
+            out.append(ctx.run_task(stage, worker, task))
         stage.records_in = len(left) + len(right)
         stage.records_out = sum(len(p) for p in out)
         return OperatorResult(out, schema)

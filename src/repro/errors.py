@@ -37,6 +37,53 @@ class ExecutionError(ReproError):
     """A physical operator failed at runtime."""
 
 
+class FudjCallbackError(ExecutionError):
+    """A user FUDJ callback raised or returned something unusable.
+
+    Carries the join name and the phase (summarize/divide/assign/match/
+    verify/dedup) so a developer debugging a join library sees where the
+    engine was, not just a raw traceback from deep inside an operator.
+    """
+
+    def __init__(self, join_name: str, phase: str, original: Exception) -> None:
+        super().__init__(
+            f"FUDJ {join_name!r} failed in {phase}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.join_name = join_name
+        self.phase = phase
+        self.original = original
+
+
+class QueryTimeoutError(ExecutionError):
+    """The query exceeded its wall-clock budget and was cancelled.
+
+    Raised at the next stage boundary or task attempt after the deadline
+    passes, so cancellation is clean: no partial results escape.
+    """
+
+    def __init__(self, elapsed_seconds: float, limit_seconds: float) -> None:
+        super().__init__(
+            f"query timed out after {elapsed_seconds:.3f}s "
+            f"(limit {limit_seconds:.3f}s)"
+        )
+        self.elapsed_seconds = elapsed_seconds
+        self.limit_seconds = limit_seconds
+
+
+class TaskFailedError(ExecutionError):
+    """A partition task kept failing past the fault plan's retry cap."""
+
+    def __init__(self, stage: str, worker: int, attempts: int) -> None:
+        super().__init__(
+            f"task {stage!r} on worker {worker} failed "
+            f"{attempts} consecutive attempts; giving up"
+        )
+        self.stage = stage
+        self.worker = worker
+        self.attempts = attempts
+
+
 class SerdeError(ReproError):
     """A value could not be (de)serialized or translated."""
 
