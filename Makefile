@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-check examples slow-examples shell clean
+.PHONY: install test test-faults bench bench-check lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ bench:            ## full run: timings + shape assertions + results/*.txt
 
 bench-check:      ## fast run: shape assertions only
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+lint-docs:        ## links resolve; dot-commands + Database kwargs documented
+	PYTHONPATH=src $(PYTHON) tools/lint_docs.py
 
 examples:
 	for f in examples/quickstart.py examples/custom_join.py \

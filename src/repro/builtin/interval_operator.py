@@ -91,7 +91,7 @@ class BuiltinIntervalJoinOperator(PhysicalOperator):
 
     # -- phase 3: theta bucket matching ---------------------------------------------
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         out_schema = left.schema.concat(right.schema)

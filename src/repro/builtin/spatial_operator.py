@@ -141,7 +141,7 @@ class BuiltinSpatialJoinOperator(PhysicalOperator):
                     rows.append(record1.concat(record2, out_schema))
         return rows
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
 

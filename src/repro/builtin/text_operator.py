@@ -123,7 +123,7 @@ class BuiltinTextSimilarityJoinOperator(PhysicalOperator):
         shared = p1 & p2
         return bool(shared) and rank == min(shared)
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         out_schema = left.schema.concat(right.schema)

@@ -5,6 +5,7 @@ Usage::
     python -m repro                        # interactive shell
     python -m repro script.sql             # run a ;-separated script
     python -m repro --demo spatial         # preload a synthetic demo workload
+    python -m repro --trace                # structured span tracing on
     python -m repro --inject-faults 7:0.05 # seeded fault injection
                                            # (SEED:RATE or
                                            #  SEED:CRASH:STRAGGLER:EXCHANGE)
@@ -16,6 +17,10 @@ session:
     .dedup avoidance|elimination|none|default
     .faults SEED:RATE|off|show  seeded fault injection for this session
     .onerror fail|skip|quarantine  poison-record policy for FUDJ callbacks
+    .trace on|off|show|save <path>  structured span tracing: print the
+                                phase/callback tree and skew report after
+                                each query, re-show the last trace, or
+                                export it as a Chrome/Perfetto JSON file
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -27,6 +32,8 @@ session:
 
 With faults active, ``EXPLAIN ANALYZE <query>;`` shows the retry /
 straggler / quarantine counters and the simulated recovery overhead.
+``EXPLAIN ANALYZE`` always includes the span trace tree and skew
+diagnostics, whatever ``.trace`` is set to.
 """
 
 from __future__ import annotations
@@ -55,6 +62,8 @@ class Shell:
         self.mode = "fudj"
         self.dedup = None
         self.timing = True
+        self.trace = False
+        self.last_trace = None
         self._buffer = []
 
     # -- line-oriented driver ------------------------------------------------------
@@ -87,11 +96,19 @@ class Shell:
 
     def run_statement(self, sql: str) -> None:
         try:
-            result = self.db.execute(sql, mode=self.mode, dedup=self.dedup)
+            result = self.db.execute(sql, mode=self.mode, dedup=self.dedup,
+                                     trace=self.trace)
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
+        if result.trace is not None:
+            self.last_trace = result.trace
         self._print_result(result)
+        if self.trace and result.trace is not None:
+            self.write(result.trace.render())
+            skew = result.trace.skew_report()
+            if skew:
+                self.write(skew)
 
     def _print_result(self, result) -> None:
         if result.schema == ("plan",):
@@ -170,6 +187,33 @@ class Shell:
                 self.write(f"on_error = {args[0]}")
             else:
                 self.write("usage: .onerror fail|skip|quarantine")
+        elif name == ".trace":
+            if args and args[0] in ("on", "off"):
+                self.trace = args[0] == "on"
+                self.write(f"trace = {args[0]}")
+            elif args and args[0] == "show":
+                if self.last_trace is None:
+                    self.write("no trace recorded yet; .trace on and run "
+                               "a query")
+                else:
+                    self.write(self.last_trace.render())
+                    skew = self.last_trace.skew_report()
+                    if skew:
+                        self.write(skew)
+            elif len(args) == 2 and args[0] == "save":
+                if self.last_trace is None:
+                    self.write("no trace recorded yet; .trace on and run "
+                               "a query")
+                else:
+                    try:
+                        self.last_trace.to_chrome_trace(args[1])
+                    except OSError as exc:
+                        self.write(f"error: cannot write trace: {exc}")
+                    else:
+                        self.write(f"trace saved to {args[1]} "
+                                   "(open in chrome://tracing or Perfetto)")
+            else:
+                self.write("usage: .trace on|off|show|save <path>")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -257,9 +301,15 @@ def main(argv=None) -> int:
             print(f"bad --inject-faults value: {exc}", file=sys.stderr)
             return 1
         del argv[at:at + 2]
+    trace = "--trace" in argv
+    if trace:
+        argv.remove("--trace")
     shell = Shell(db=Database(fault_plan=fault_plan))
+    shell.trace = trace
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.describe()}")
+    if trace:
+        print("tracing active: span tree printed after each query")
     if argv and argv[0] == "--demo":
         shell._load_demo(argv[1] if len(argv) > 1 else "spatial")
         argv = argv[2:]

@@ -64,14 +64,16 @@ class Database:
     """A self-contained FUDJ-enabled database instance.
 
     ``fault_plan``, ``on_error``, and ``query_timeout`` set the
-    instance-wide fault-tolerance posture; each can be overridden per
-    query in :meth:`execute`.
+    instance-wide fault-tolerance posture; ``trace`` turns structured
+    span tracing on for every query.  Each can be overridden per query
+    in :meth:`execute`.
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
                  cost_model: CostModel = None, fault_plan=None,
                  on_error: str = "fail",
-                 query_timeout: float = None) -> None:
+                 query_timeout: float = None,
+                 trace: bool = False) -> None:
         self.cluster = Cluster(num_partitions, cores, cost_model)
         self.catalog = Catalog()
         self.functions = default_function_registry()
@@ -80,6 +82,7 @@ class Database:
         self.fault_plan = _to_fault_plan(fault_plan)
         self.on_error = _check_policy(on_error)
         self.query_timeout = query_timeout
+        self.trace = bool(trace)
 
     # -- SQL entry points -----------------------------------------------------------
 
@@ -87,7 +90,8 @@ class Database:
                 measure_bytes: bool = True,
                 summarize_sample: float = 1.0, fault_plan=_UNSET,
                 on_error: str = None,
-                query_timeout: float = _UNSET) -> QueryResult:
+                query_timeout: float = _UNSET,
+                trace=_UNSET) -> QueryResult:
         """Parse and run one SQL statement.
 
         Args:
@@ -111,12 +115,16 @@ class Database:
                 FUDJ callbacks (``fail`` / ``skip`` / ``quarantine``).
             query_timeout: per-query override of the wall-clock budget in
                 seconds (``None`` disables it).
+            trace: per-query override of the instance ``trace`` flag;
+                when True the result carries a structured span trace on
+                :attr:`QueryResult.trace`.
         """
         faults = (self.fault_plan if fault_plan is _UNSET
                   else _to_fault_plan(fault_plan))
         policy = self.on_error if on_error is None else _check_policy(on_error)
         timeout = (self.query_timeout if query_timeout is _UNSET
                    else query_timeout)
+        tracing = self.trace if trace is _UNSET else bool(trace)
         statement = parse_statement(sql)
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
@@ -124,7 +132,7 @@ class Database:
             return execute_plan(plan, self.cluster,
                                 measure_bytes=measure_bytes,
                                 fault_plan=faults, on_error=policy,
-                                timeout_seconds=timeout)
+                                timeout_seconds=timeout, trace=tracing)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement, _to_mode(mode),
                                          _to_dedup(dedup), measure_bytes,
@@ -157,7 +165,8 @@ class Database:
                          fault_plan=None, on_error: str = "fail",
                          timeout: float = None) -> QueryResult:
         """EXPLAIN: plan text (one row per line); ANALYZE adds a
-        per-stage profile from a real execution."""
+        per-stage profile, the span trace tree, and skew diagnostics
+        from a real (traced) execution."""
         from repro.engine.metrics import QueryMetrics
 
         plan = self._plan_select(statement.select, mode, dedup)
@@ -167,10 +176,16 @@ class Database:
             executed = execute_plan(plan, self.cluster,
                                     measure_bytes=measure_bytes,
                                     fault_plan=fault_plan, on_error=on_error,
-                                    timeout_seconds=timeout)
+                                    timeout_seconds=timeout, trace=True)
             metrics = executed.metrics
             lines.append("")
             lines.extend(metrics.profile(self.cluster.cores).splitlines())
+            lines.append("")
+            lines.extend(executed.trace.render().splitlines())
+            skew = executed.trace.skew_report()
+            if skew:
+                lines.append("")
+                lines.extend(skew.splitlines())
             if fault_plan is not None and not metrics.fault_summary_line():
                 # A fault plan ran but nothing fired — still say so, with
                 # the zeroed counters, so operators can see the knob is on.

@@ -14,6 +14,7 @@ from repro.engine.cluster import Cluster
 from repro.engine.faults import FaultPlan
 from repro.engine.metrics import QueryMetrics
 from repro.engine.costs import CostModel
+from repro.engine.tracing import BucketSkew, Span, Trace, Tracer
 
 __all__ = [
     "Record",
@@ -23,4 +24,8 @@ __all__ = [
     "FaultPlan",
     "QueryMetrics",
     "CostModel",
+    "BucketSkew",
+    "Span",
+    "Trace",
+    "Tracer",
 ]

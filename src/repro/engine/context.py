@@ -7,6 +7,7 @@ import time
 from repro.engine.cluster import Cluster
 from repro.engine.faults import FaultPlan, stage_key
 from repro.engine.metrics import QueryMetrics
+from repro.engine.tracing import Tracer
 from repro.errors import ExecutionError, QueryTimeoutError, TaskFailedError
 from repro.serde.translator import Translator
 
@@ -35,12 +36,16 @@ class ExecutionContext:
             it and keeps a per-phase error report in the metrics.
         timeout_seconds: wall-clock budget; checked at stage boundaries
             and task attempts, so cancellation is clean.
+        trace: record a structured span trace of the execution (see
+            :mod:`repro.engine.tracing`); the :attr:`tracer` is always
+            present but inert unless this is True.
     """
 
     def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
                  measure_bytes: bool = True, fault_plan: FaultPlan = None,
                  on_error: str = "fail",
-                 timeout_seconds: float = None) -> None:
+                 timeout_seconds: float = None,
+                 trace: bool = False) -> None:
         if on_error not in ERROR_POLICIES:
             raise ExecutionError(
                 f"unknown error policy {on_error!r}; use fail/skip/quarantine"
@@ -52,12 +57,19 @@ class ExecutionContext:
         self.fault_plan = fault_plan
         self.on_error = on_error
         self.timeout_seconds = timeout_seconds
+        self.tracer = Tracer(enabled=trace)
         self._deadline = (
             None if timeout_seconds is None
             else time.perf_counter() + timeout_seconds
         )
-        # Every new stage is a cancellation point.
-        self.metrics.stage_observer = lambda stage: self.check_timeout()
+        # Every new stage is a cancellation point; with tracing on, every
+        # new stage also mirrors its charges into the open span.
+        self.metrics.stage_observer = self._observe_stage
+
+    def _observe_stage(self, stage) -> None:
+        self.check_timeout()
+        if self.tracer.enabled:
+            stage.on_charge = self.tracer.record_units
 
     @property
     def num_partitions(self) -> int:
@@ -156,12 +168,23 @@ class ExecutionContext:
         re-raises as :class:`~repro.errors.FudjCallbackError`.  ``detail``
         is the poison record (or key pair) — rendered into the quarantine
         report only when an error actually fires.
+
+        With tracing enabled, every invocation (including failed ones) is
+        folded into the aggregated callback span named ``phase`` under
+        the currently open span.
         """
         from repro.errors import FudjCallbackError
 
+        tracer = self.tracer
+        timed = tracer.enabled
+        started = time.perf_counter() if timed else 0.0
         try:
-            return True, fn(*args)
+            result = fn(*args)
         except Exception as exc:
+            if timed:
+                tracer.record_call(
+                    phase, time.perf_counter() - started, ok=False
+                )
             if self.on_error == "fail" or isinstance(exc, QueryTimeoutError):
                 if isinstance(exc, FudjCallbackError):
                     raise
@@ -174,6 +197,9 @@ class ExecutionContext:
             else:  # skip: count the drop, keep no report
                 self.metrics.records_quarantined += 1
             return False, None
+        if timed:
+            tracer.record_call(phase, time.perf_counter() - started)
+        return True, result
 
     def finish(self) -> QueryMetrics:
         """Fold translator counters into the metrics and return them."""

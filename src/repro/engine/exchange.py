@@ -40,24 +40,27 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
     """
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    out = [[] for _ in range(ctx.num_partitions)]
-    for worker, partition in enumerate(partitions):
-        moved = []
-        for record in partition:
-            target = hash(key_fn(record)) % ctx.num_partitions
-            out[target].append(record)
-            if target != worker:
-                moved.append(record)
-            stage.charge(worker, model.hash_op + model.record_touch)
-        moved_bytes = _partition_bytes(moved, ctx)
-        stage.network_bytes += moved_bytes
-        stage.charge(worker, moved_bytes * model.serde_byte)
-        apply_exchange_faults(ctx, stage, worker, moved_bytes)
-        stage.records_in += len(partition)
-    for worker, partition in enumerate(out):
-        charge_checkpoint(ctx, stage, worker, _partition_bytes(partition, ctx))
-    stage.records_out = sum(len(p) for p in out)
-    return out
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out = [[] for _ in range(ctx.num_partitions)]
+        for worker, partition in enumerate(partitions):
+            moved = []
+            for record in partition:
+                target = hash(key_fn(record)) % ctx.num_partitions
+                out[target].append(record)
+                if target != worker:
+                    moved.append(record)
+                stage.charge(worker, model.hash_op + model.record_touch)
+            moved_bytes = _partition_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += len(partition)
+        for worker, partition in enumerate(out):
+            charge_checkpoint(ctx, stage, worker,
+                              _partition_bytes(partition, ctx))
+        stage.records_out = sum(len(p) for p in out)
+        return out
 
 
 def broadcast_exchange(partitions, ctx: ExecutionContext,
@@ -69,23 +72,28 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
     """
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    everything = [record for partition in partitions for record in partition]
-    total_bytes = _partition_bytes(everything, ctx)
-    replicas = max(0, ctx.num_partitions - 1)
-    stage.fabric_bytes += total_bytes * replicas
-    for worker in range(ctx.num_partitions):
-        stage.charge(
-            worker,
-            len(everything) * model.record_touch + total_bytes * model.serde_byte,
-        )
-        # A flaky link to one receiver forces a re-send of its whole copy.
-        apply_exchange_faults(ctx, stage, worker, total_bytes)
-    # One checkpoint copy covers every replica (the data is identical),
-    # charged to the worker that holds the canonical copy.
-    charge_checkpoint(ctx, stage, 0, total_bytes)
-    stage.records_in = len(everything)
-    stage.records_out = len(everything) * ctx.num_partitions
-    return [list(everything) for _ in range(ctx.num_partitions)]
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        everything = [
+            record for partition in partitions for record in partition
+        ]
+        total_bytes = _partition_bytes(everything, ctx)
+        replicas = max(0, ctx.num_partitions - 1)
+        stage.fabric_bytes += total_bytes * replicas
+        for worker in range(ctx.num_partitions):
+            stage.charge(
+                worker,
+                len(everything) * model.record_touch
+                + total_bytes * model.serde_byte,
+            )
+            # A flaky link to one receiver forces a re-send of its whole copy.
+            apply_exchange_faults(ctx, stage, worker, total_bytes)
+        # One checkpoint copy covers every replica (the data is identical),
+        # charged to the worker that holds the canonical copy.
+        charge_checkpoint(ctx, stage, 0, total_bytes)
+        stage.records_in = len(everything)
+        stage.records_out = len(everything) * ctx.num_partitions
+        return [list(everything) for _ in range(ctx.num_partitions)]
 
 
 def random_exchange(partitions, ctx: ExecutionContext,
@@ -94,23 +102,26 @@ def random_exchange(partitions, ctx: ExecutionContext,
     with no partitioning key available, one side is spread randomly)."""
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    out = [[] for _ in range(ctx.num_partitions)]
-    cursor = 0
-    for worker, partition in enumerate(partitions):
-        moved = []
-        for record in partition:
-            target = cursor % ctx.num_partitions
-            cursor += 1
-            out[target].append(record)
-            if target != worker:
-                moved.append(record)
-            stage.charge(worker, model.record_touch)
-        moved_bytes = _partition_bytes(moved, ctx)
-        stage.network_bytes += moved_bytes
-        stage.charge(worker, moved_bytes * model.serde_byte)
-        apply_exchange_faults(ctx, stage, worker, moved_bytes)
-        stage.records_in += len(partition)
-    for worker, partition in enumerate(out):
-        charge_checkpoint(ctx, stage, worker, _partition_bytes(partition, ctx))
-    stage.records_out = sum(len(p) for p in out)
-    return out
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out = [[] for _ in range(ctx.num_partitions)]
+        cursor = 0
+        for worker, partition in enumerate(partitions):
+            moved = []
+            for record in partition:
+                target = cursor % ctx.num_partitions
+                cursor += 1
+                out[target].append(record)
+                if target != worker:
+                    moved.append(record)
+                stage.charge(worker, model.record_touch)
+            moved_bytes = _partition_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += len(partition)
+        for worker, partition in enumerate(out):
+            charge_checkpoint(ctx, stage, worker,
+                              _partition_bytes(partition, ctx))
+        stage.records_out = sum(len(p) for p in out)
+        return out

@@ -10,6 +10,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.faults import FaultPlan
 from repro.engine.metrics import QueryMetrics
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.tracing import Trace
 
 
 @dataclass
@@ -17,12 +18,15 @@ class QueryResult:
     """What a query returns: rows (as plain dicts) plus metrics.
 
     ``rows`` are materialized in result order (sorted plans put their
-    output on worker 0 first).
+    output on worker 0 first).  ``trace`` is the structured span trace
+    (:class:`~repro.engine.tracing.Trace`) when the query ran with
+    tracing enabled, else None.
     """
 
     rows: list
     schema: tuple
     metrics: QueryMetrics
+    trace: Trace = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -38,7 +42,8 @@ class QueryResult:
 def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  measure_bytes: bool = True, fault_plan: FaultPlan = None,
                  on_error: str = "fail",
-                 timeout_seconds: float = None) -> QueryResult:
+                 timeout_seconds: float = None,
+                 trace: bool = False) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -51,10 +56,13 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
         timeout_seconds: per-query wall-clock budget; exceeding it raises
             :class:`~repro.errors.QueryTimeoutError` at the next
             cancellation point.
+        trace: record a structured span trace (phase/callback tree, skew
+            diagnostics) on :attr:`QueryResult.trace`.  Adds zero charged
+            cost — the simulated makespan is identical either way.
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
-        on_error=on_error, timeout_seconds=timeout_seconds,
+        on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
     )
     started = time.perf_counter()
     result: OperatorResult = plan.execute(ctx)
@@ -62,6 +70,8 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
     metrics.output_records = len(result)
     rows = [record.to_dict() for record in result.all_records()]
     # Stamp the wall clock only after row materialization — building the
-    # result dicts is part of what the caller waits for.
+    # result dicts is part of what the caller waits for.  The root trace
+    # span covers the same window, so it stays >= the sum of its children.
     metrics.wall_seconds = time.perf_counter() - started
-    return QueryResult(rows, result.schema.fields, metrics)
+    query_trace = ctx.tracer.finish(wall_seconds=metrics.wall_seconds)
+    return QueryResult(rows, result.schema.fields, metrics, query_trace)

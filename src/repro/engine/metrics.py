@@ -27,9 +27,15 @@ class StageMetrics:
     fabric_bytes: float = 0.0
     records_in: int = 0
     records_out: int = 0
+    #: Optional mirror hook — the tracer installs one so every charge is
+    #: also attributed to the currently open span (None when tracing is
+    #: off; the check costs one branch).
+    on_charge: object = None
 
     def charge(self, worker: int, units: float) -> None:
         self.worker_units[worker] = self.worker_units.get(worker, 0.0) + units
+        if self.on_charge is not None:
+            self.on_charge(units)
 
     def total_units(self) -> float:
         return sum(self.worker_units.values())
@@ -93,6 +99,11 @@ class QueryMetrics:
             if self.stage_observer is not None:
                 self.stage_observer(stage)
         return self._stage_index[name]
+
+    def find_stage(self, name: str):
+        """The stage named ``name``, or None — unlike :meth:`stage` this
+        never creates one (used by trace rendering)."""
+        return self._stage_index.get(name)
 
     def note_quarantine(self, phase: str, join_name: str, error: Exception,
                         detail: str = None) -> None:

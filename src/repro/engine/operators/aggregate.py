@@ -203,7 +203,7 @@ class GroupBy(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         stage = ctx.metrics.stage(self.stage_name)
         model = ctx.cost_model
@@ -290,7 +290,7 @@ class ScalarAggregate(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         stage = ctx.metrics.stage(self.stage_name)
         model = ctx.cost_model

@@ -30,8 +30,11 @@ class OperatorResult:
 class PhysicalOperator:
     """Base class for physical operators.
 
-    Subclasses implement :meth:`execute`.  ``stage_name`` is unique per
-    operator instance so metrics can tell two filters apart.
+    Subclasses implement :meth:`run`; callers invoke :meth:`execute`,
+    which wraps the run in a tracing span when the context traces (so
+    the span tree is shaped exactly like the physical plan).
+    ``stage_name`` is unique per operator instance so metrics can tell
+    two filters apart.
     """
 
     label = "operator"
@@ -40,7 +43,20 @@ class PhysicalOperator:
         self.stage_name = f"{self.label}#{next(_IDS)}"
 
     def execute(self, ctx: ExecutionContext) -> OperatorResult:
-        """Run the operator and return its partitioned output."""
+        """Run the operator (inside an ``operator`` span when tracing)."""
+        tracer = ctx.tracer
+        if not tracer.enabled:
+            return self.run(ctx)
+        with tracer.span(self.stage_name, kind="operator") as span:
+            result = self.run(ctx)
+            stage = ctx.metrics.find_stage(self.stage_name)
+            if stage is not None:
+                span.copy_stage(stage)
+            span.records_out = len(result)
+            return result
+
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
+        """Compute the operator's partitioned output (subclass hook)."""
         raise NotImplementedError
 
     def explain(self, indent: int = 0) -> str:

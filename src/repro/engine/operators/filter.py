@@ -31,7 +31,7 @@ class Filter(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         stage = ctx.metrics.stage(self.stage_name)
         cost = self.cost_units if self.cost_units is not None else ctx.cost_model.comparison
@@ -62,7 +62,7 @@ class Project(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         schema = Schema(self.field_names)
         indexes = [source.schema.index_of(name) for name in self.field_names]
@@ -99,7 +99,7 @@ class MapColumns(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         from repro.serde.values import box
 
         source = self.child.execute(ctx)
@@ -144,7 +144,7 @@ class Limit(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         stage = ctx.metrics.stage(self.stage_name)
         taken = []
@@ -180,7 +180,7 @@ class Distinct(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         from repro.engine.exchange import hash_exchange
 
         source = self.child.execute(ctx)

@@ -34,6 +34,7 @@ Phases with no single culprit record (``global_aggregate``, ``divide``,
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 
 from repro.core.dedup import DedupStrategy, strategy_for
@@ -47,19 +48,29 @@ from repro.errors import ExecutionError, FudjCallbackError
 __all__ = ["FudjCallbackError", "FudjJoin"]
 
 
-def _guard(join, phase: str, fn, *args):
+def _guard(ctx, join, phase: str, fn, *args):
     """Invoke a user callback, wrapping any failure with phase context.
 
     Used for the phases that must fail hard regardless of the error
     policy — a broken ``divide`` or ``global_aggregate`` leaves no plan
-    to continue with.
+    to continue with.  With tracing on, the call lands in the aggregated
+    callback span of the currently open span.
     """
+    tracer = ctx.tracer
+    started = time.perf_counter() if tracer.enabled else 0.0
     try:
-        return fn(*args)
+        result = fn(*args)
     except FudjCallbackError:
+        if tracer.enabled:
+            tracer.record_call(phase, time.perf_counter() - started, ok=False)
         raise
     except Exception as exc:
+        if tracer.enabled:
+            tracer.record_call(phase, time.perf_counter() - started, ok=False)
         raise FudjCallbackError(join.name, phase, exc) from exc
+    if tracer.enabled:
+        tracer.record_call(phase, time.perf_counter() - started)
+    return result
 
 
 class FudjJoin(PhysicalOperator):
@@ -155,6 +166,11 @@ class FudjJoin(PhysicalOperator):
     def _summarize_side(self, result: OperatorResult, key_fn, side: JoinSide,
                         ctx: ExecutionContext):
         stage = ctx.metrics.stage(f"{self.stage_name}/summarize-{side.value}")
+        with ctx.tracer.span(f"summarize-{side.value}", kind="stage",
+                             stage=stage):
+            return self._summarize_side_inner(result, key_fn, side, ctx, stage)
+
+    def _summarize_side_inner(self, result, key_fn, side, ctx, stage):
         model = ctx.cost_model
         key_cost = self._key_cost(ctx)
         step = max(1, round(1.0 / self.summarize_sample))
@@ -190,7 +206,7 @@ class FudjJoin(PhysicalOperator):
             if merged is None:
                 merged = partial
             else:
-                merged = _guard(join, "global_aggregate",
+                merged = _guard(ctx, join, "global_aggregate",
                                 join.global_aggregate, merged, partial, side)
             stage.charge(0, model.record_touch)
         stage.records_in = len(result)
@@ -200,8 +216,30 @@ class FudjJoin(PhysicalOperator):
 
     def _assign_side(self, result: OperatorResult, key_fn, side: JoinSide,
                      pplan, ctx: ExecutionContext) -> list:
-        """Unnest each record into ``(bucket_id, external_key, record)``."""
+        """Unnest each record into ``(bucket_id, external_key, record)``.
+
+        With tracing on, the per-bucket record histogram is collected
+        here — the raw material for the skew diagnostics (replication
+        factor, heaviest buckets).
+        """
         stage = ctx.metrics.stage(f"{self.stage_name}/assign-{side.value}")
+        with ctx.tracer.span(f"assign-{side.value}", kind="stage",
+                             stage=stage):
+            out = self._assign_side_inner(result, key_fn, side, pplan, ctx,
+                                          stage)
+        if ctx.tracer.enabled:
+            histogram = {}
+            for rows in out:
+                for bucket_id, _, _ in rows:
+                    histogram[bucket_id] = histogram.get(bucket_id, 0) + 1
+            ctx.tracer.note_skew(
+                f"{self.stage_name}/assign-{side.value}",
+                stage.records_in, histogram,
+            )
+        return out
+
+    def _assign_side_inner(self, result, key_fn, side, pplan, ctx,
+                           stage) -> list:
         model = ctx.cost_model
         key_cost = self._key_cost(ctx)
         join = self.join
@@ -248,47 +286,55 @@ class FudjJoin(PhysicalOperator):
 
     # -- phase 3: COMBINE ---------------------------------------------------------
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         join = self.join
+        tracer = ctx.tracer
 
         # SUMMARIZE (+ the self-join summarize-once optimization).
-        summary1 = self._summarize_side(left, self.left_key, JoinSide.LEFT, ctx)
-        if self.self_join:
-            summary2 = summary1
-        else:
-            summary2 = self._summarize_side(
-                right, self.right_key, JoinSide.RIGHT, ctx
+        with tracer.span("SUMMARIZE", kind="phase"):
+            summary1 = self._summarize_side(
+                left, self.left_key, JoinSide.LEFT, ctx
             )
-        pplan = _guard(join, "divide", join.divide, summary1, summary2)
-        # PPlan broadcast: one small object to every worker.
-        ctx.metrics.stage(f"{self.stage_name}/pplan-broadcast").network_bytes += (
-            256 * max(0, ctx.num_partitions - 1)
-        )
+            if self.self_join:
+                summary2 = summary1
+            else:
+                summary2 = self._summarize_side(
+                    right, self.right_key, JoinSide.RIGHT, ctx
+                )
+            pplan = _guard(ctx, join, "divide", join.divide, summary1, summary2)
+            # PPlan broadcast: one small object to every worker.
+            ctx.metrics.stage(
+                f"{self.stage_name}/pplan-broadcast"
+            ).network_bytes += 256 * max(0, ctx.num_partitions - 1)
 
         # PARTITION.
-        left_assigned = self._assign_side(left, self.left_key, JoinSide.LEFT, pplan, ctx)
-        right_assigned = self._assign_side(
-            right, self.right_key, JoinSide.RIGHT, pplan, ctx
-        )
+        with tracer.span("PARTITION", kind="phase"):
+            left_assigned = self._assign_side(
+                left, self.left_key, JoinSide.LEFT, pplan, ctx
+            )
+            right_assigned = self._assign_side(
+                right, self.right_key, JoinSide.RIGHT, pplan, ctx
+            )
 
         out_schema = left.schema.concat(right.schema)
-        if join.uses_default_match():
-            partitions = self._combine_single_join(
-                left_assigned, right_assigned, pplan, out_schema, ctx
-            )
-        elif join.supports_partitioned_matching():
-            partitions = self._combine_partitioned_theta(
-                left_assigned, right_assigned, pplan, out_schema, ctx
-            )
-        else:
-            partitions = self._combine_multi_join(
-                left_assigned, right_assigned, pplan, out_schema, ctx
-            )
+        with tracer.span("COMBINE", kind="phase"):
+            if join.uses_default_match():
+                partitions = self._combine_single_join(
+                    left_assigned, right_assigned, pplan, out_schema, ctx
+                )
+            elif join.supports_partitioned_matching():
+                partitions = self._combine_partitioned_theta(
+                    left_assigned, right_assigned, pplan, out_schema, ctx
+                )
+            else:
+                partitions = self._combine_multi_join(
+                    left_assigned, right_assigned, pplan, out_schema, ctx
+                )
 
-        if self.dedup.requires_shuffle:
-            partitions = self._eliminate_duplicates(partitions, ctx)
+            if self.dedup.requires_shuffle:
+                partitions = self._eliminate_duplicates(partitions, ctx)
 
         result = OperatorResult(partitions, out_schema)
         ctx.metrics.output_records = len(result)
@@ -317,66 +363,73 @@ class FudjJoin(PhysicalOperator):
             else model.expensive_predicate
         )
         out = []
-        for worker in range(ctx.num_partitions):
-            left_entries = left_parts[worker]
-            right_entries = right_parts[worker]
+        with ctx.tracer.span("combine", kind="stage", stage=stage):
+            for worker in range(ctx.num_partitions):
+                left_entries = left_parts[worker]
+                right_entries = right_parts[worker]
 
-            def task(worker=worker, left_entries=left_entries,
-                     right_entries=right_entries):
-                table = defaultdict(list)
-                build_bytes = 0
-                for bucket_id, key, record in left_entries:
-                    table[bucket_id].append((key, record))
-                    build_bytes += 9 + record.serialized_size()
-                stage.charge(
-                    worker,
-                    len(left_entries) * model.hash_op
-                    + model.spill_units(build_bytes),
-                )
-                rows = []
-                verify_units = 0.0
-                dedup_checks = 0
-                tag = self._tag_pair if self.dedup.requires_shuffle else None
-                if self.join.has_local_join():
-                    rows, dedup_checks, verify_units = self._join_buckets_local(
-                        table, right_entries, pplan, out_schema, ctx, tag
+                def task(worker=worker, left_entries=left_entries,
+                         right_entries=right_entries):
+                    table = defaultdict(list)
+                    build_bytes = 0
+                    for bucket_id, key, record in left_entries:
+                        table[bucket_id].append((key, record))
+                        build_bytes += 9 + record.serialized_size()
+                    stage.charge(
+                        worker,
+                        len(left_entries) * model.hash_op
+                        + model.spill_units(build_bytes),
                     )
-                else:
-                    # Both verify and dedup are pure predicates, so the
-                    # engine runs the cheap duplicate check first and pays
-                    # the expensive verification only for pairs this
-                    # worker owns.
-                    for bucket_id, key2, record2 in right_entries:
-                        for key1, record1 in table.get(bucket_id, ()):
-                            dedup_checks += 1
-                            if not self.dedup.keep_local(
-                                self.join, bucket_id, key1, bucket_id, key2,
-                                pplan
-                            ):
-                                continue
-                            matched = self._safe_verify(ctx, key1, key2, pplan)
-                            verify_units += model.predicate_units(v_cost, matched)
-                            if not matched:
-                                continue
-                            joined = record1.concat(record2, out_schema)
-                            rows.append(
-                                tag(record1, record2, joined) if tag else joined
-                            )
-                stage.charge(
-                    worker,
-                    len(right_entries) * model.hash_op
-                    + verify_units
-                    + dedup_checks * model.comparison,
-                )
-                ctx.metrics.comparisons += dedup_checks
-                return rows
+                    rows = []
+                    verify_units = 0.0
+                    dedup_checks = 0
+                    tag = self._tag_pair if self.dedup.requires_shuffle else None
+                    if self.join.has_local_join():
+                        rows, dedup_checks, verify_units = self._join_buckets_local(
+                            table, right_entries, pplan, out_schema, ctx, tag
+                        )
+                    else:
+                        # Both verify and dedup are pure predicates, so the
+                        # engine runs the cheap duplicate check first and pays
+                        # the expensive verification only for pairs this
+                        # worker owns.
+                        for bucket_id, key2, record2 in right_entries:
+                            for key1, record1 in table.get(bucket_id, ()):
+                                dedup_checks += 1
+                                if not self.dedup.keep_local(
+                                    self.join, bucket_id, key1, bucket_id, key2,
+                                    pplan
+                                ):
+                                    continue
+                                matched = self._safe_verify(ctx, key1, key2, pplan)
+                                verify_units += model.predicate_units(v_cost, matched)
+                                if not matched:
+                                    continue
+                                joined = record1.concat(record2, out_schema)
+                                rows.append(
+                                    tag(record1, record2, joined) if tag else joined
+                                )
+                    stage.charge(
+                        worker,
+                        len(right_entries) * model.hash_op
+                        + verify_units
+                        + dedup_checks * model.comparison,
+                    )
+                    ctx.metrics.comparisons += dedup_checks
+                    if ctx.tracer.enabled:
+                        ctx.tracer.attribute("verify", verify_units)
+                        ctx.tracer.attribute(
+                            "dedup", dedup_checks * model.comparison,
+                            calls=dedup_checks,
+                        )
+                    return rows
 
-            rows = ctx.run_task(
-                stage, worker, task,
-                self._restore_bytes(ctx, left_entries, right_entries),
-            )
-            stage.records_out += len(rows)
-            out.append(rows)
+                rows = ctx.run_task(
+                    stage, worker, task,
+                    self._restore_bytes(ctx, left_entries, right_entries),
+                )
+                stage.records_out += len(rows)
+                out.append(rows)
         return out
 
     def _combine_multi_join(self, left_assigned, right_assigned, pplan,
@@ -403,61 +456,69 @@ class FudjJoin(PhysicalOperator):
             else model.expensive_predicate
         )
         out = []
-        for worker in range(ctx.num_partitions):
-            left_entries = left_parts[worker]
-            broadcast = right_parts[worker]
+        with ctx.tracer.span("combine", kind="stage", stage=stage):
+            for worker in range(ctx.num_partitions):
+                left_entries = left_parts[worker]
+                broadcast = right_parts[worker]
 
-            def task(worker=worker, left_entries=left_entries,
-                     broadcast=broadcast):
-                # Every worker materializes the whole broadcast side —
-                # per-node work that does not shrink as the cluster grows
-                # (and spills when it exceeds the worker's memory budget).
-                broadcast_bytes = sum(
-                    9 + r.serialized_size() for _, _, r in broadcast
-                )
-                stage.charge(
-                    worker,
-                    (len(left_entries) + len(broadcast)) * model.hash_op
-                    + model.spill_units(broadcast_bytes),
-                )
-                rows = []
-                match_checks = 0
-                verify_units = 0.0
-                dedup_checks = 0
-                for b1, key1, record1 in left_entries:
-                    for b2, key2, record2 in broadcast:
-                        match_checks += 1
-                        if not self._safe_match(ctx, b1, b2):
-                            continue
-                        dedup_checks += 1
-                        if not self.dedup.keep_local(
-                            self.join, b1, key1, b2, key2, pplan
-                        ):
-                            continue
-                        matched = self._safe_verify(ctx, key1, key2, pplan)
-                        verify_units += model.predicate_units(v_cost, matched)
-                        if not matched:
-                            continue
-                        joined = record1.concat(record2, out_schema)
-                        rows.append(
-                            self._tag_pair(record1, record2, joined)
-                            if self.dedup.requires_shuffle else joined
+                def task(worker=worker, left_entries=left_entries,
+                         broadcast=broadcast):
+                    # Every worker materializes the whole broadcast side —
+                    # per-node work that does not shrink as the cluster grows
+                    # (and spills when it exceeds the worker's memory budget).
+                    broadcast_bytes = sum(
+                        9 + r.serialized_size() for _, _, r in broadcast
+                    )
+                    stage.charge(
+                        worker,
+                        (len(left_entries) + len(broadcast)) * model.hash_op
+                        + model.spill_units(broadcast_bytes),
+                    )
+                    rows = []
+                    match_checks = 0
+                    verify_units = 0.0
+                    dedup_checks = 0
+                    for b1, key1, record1 in left_entries:
+                        for b2, key2, record2 in broadcast:
+                            match_checks += 1
+                            if not self._safe_match(ctx, b1, b2):
+                                continue
+                            dedup_checks += 1
+                            if not self.dedup.keep_local(
+                                self.join, b1, key1, b2, key2, pplan
+                            ):
+                                continue
+                            matched = self._safe_verify(ctx, key1, key2, pplan)
+                            verify_units += model.predicate_units(v_cost, matched)
+                            if not matched:
+                                continue
+                            joined = record1.concat(record2, out_schema)
+                            rows.append(
+                                self._tag_pair(record1, record2, joined)
+                                if self.dedup.requires_shuffle else joined
+                            )
+                    stage.charge(
+                        worker,
+                        match_checks * model.match_op
+                        + verify_units
+                        + dedup_checks * model.comparison,
+                    )
+                    ctx.metrics.comparisons += dedup_checks
+                    if ctx.tracer.enabled:
+                        ctx.tracer.attribute("match", match_checks * model.match_op)
+                        ctx.tracer.attribute("verify", verify_units)
+                        ctx.tracer.attribute(
+                            "dedup", dedup_checks * model.comparison,
+                            calls=dedup_checks,
                         )
-                stage.charge(
-                    worker,
-                    match_checks * model.match_op
-                    + verify_units
-                    + dedup_checks * model.comparison,
-                )
-                ctx.metrics.comparisons += dedup_checks
-                return rows
+                    return rows
 
-            rows = ctx.run_task(
-                stage, worker, task,
-                self._restore_bytes(ctx, left_entries, broadcast),
-            )
-            stage.records_out += len(rows)
-            out.append(rows)
+                rows = ctx.run_task(
+                    stage, worker, task,
+                    self._restore_bytes(ctx, left_entries, broadcast),
+                )
+                stage.records_out += len(rows)
+                out.append(rows)
         return out
 
     def _eliminate_duplicates(self, partitions: list, ctx: ExecutionContext) -> list:
@@ -488,25 +549,38 @@ class FudjJoin(PhysicalOperator):
         stage = ctx.metrics.stage(f"{self.stage_name}/dedup")
         model = ctx.cost_model
         out = []
-        for worker, partition in enumerate(shuffled):
+        with ctx.tracer.span("dedup", kind="stage", stage=stage):
+            for worker, partition in enumerate(shuffled):
 
-            def task(worker=worker, partition=partition):
-                seen = set()
-                rows = []
-                for entry in partition:
-                    if entry.pair_id in seen:
-                        continue
-                    seen.add(entry.pair_id)
-                    rows.append(entry.record)
-                stage.charge(worker, len(partition) * model.hash_op)
-                return rows
+                def task(worker=worker, partition=partition):
+                    seen = set()
+                    rows = []
+                    for entry in partition:
+                        if entry.pair_id in seen:
+                            continue
+                        seen.add(entry.pair_id)
+                        rows.append(entry.record)
+                    stage.charge(worker, len(partition) * model.hash_op)
+                    return rows
 
-            rows = ctx.run_task(stage, worker, task)
-            stage.records_in += len(partition)
-            stage.records_out += len(rows)
-            out.append(rows)
+                rows = ctx.run_task(stage, worker, task)
+                stage.records_in += len(partition)
+                stage.records_out += len(rows)
+                out.append(rows)
         return out
 
+
+    def _local_join_pairs(self, ctx: ExecutionContext, keys1, keys2, pplan):
+        """Enumerate the developer's ``local_join`` candidates; with
+        tracing on the hook is materialized under a timer so its wall
+        time lands in the ``local_join`` callback span."""
+        tracer = ctx.tracer
+        if not tracer.enabled:
+            return self.join.local_join(keys1, keys2, pplan)
+        started = time.perf_counter()
+        pairs = list(self.join.local_join(keys1, keys2, pplan))
+        tracer.record_call("local_join", time.perf_counter() - started)
+        return pairs
 
     @staticmethod
     def _tag_pair(record1, record2, joined):
@@ -549,7 +623,7 @@ class FudjJoin(PhysicalOperator):
             keys1 = [key for key, _ in left_bucket]
             keys2 = [key for key, _ in right_bucket]
             setup_keys += len(keys1) + len(keys2)
-            for i, j in self.join.local_join(keys1, keys2, pplan):
+            for i, j in self._local_join_pairs(ctx, keys1, keys2, pplan):
                 candidates += 1
                 key1, record1 = left_bucket[i]
                 key2, record2 = right_bucket[j]
@@ -594,67 +668,46 @@ class FudjJoin(PhysicalOperator):
         )
         join = self.join
         out = []
-        for worker in range(num):
-            local_left = left_parts[worker]
-            local_right = right_parts[worker]
+        with ctx.tracer.span("combine", kind="stage", stage=stage):
+            for worker in range(num):
+                local_left = left_parts[worker]
+                local_right = right_parts[worker]
 
-            def task(worker=worker, local_left=local_left,
-                     local_right=local_right):
-                stage.charge(
-                    worker,
-                    (len(local_left) + len(local_right)) * model.hash_op,
-                )
-                rows = []
-                match_checks = 0
-                verify_units = 0.0
-                dedup_checks = 0
-                part_cache = {}
+                def task(worker=worker, local_left=local_left,
+                         local_right=local_right):
+                    stage.charge(
+                        worker,
+                        (len(local_left) + len(local_right)) * model.hash_op,
+                    )
+                    rows = []
+                    match_checks = 0
+                    verify_units = 0.0
+                    dedup_checks = 0
+                    part_cache = {}
 
-                def parts_of(bucket_id):
-                    found = part_cache.get(bucket_id)
-                    if found is None:
-                        found = set(join.partition_buckets(bucket_id, num, pplan))
-                        part_cache[bucket_id] = found
-                    return found
+                    def parts_of(bucket_id):
+                        found = part_cache.get(bucket_id)
+                        if found is None:
+                            found = set(join.partition_buckets(bucket_id, num, pplan))
+                            part_cache[bucket_id] = found
+                        return found
 
-                if join.has_local_join():
-                    # A custom local algorithm (e.g. a sort-merge forward
-                    # scan) enumerates candidates instead of the NLJ; the
-                    # ownership check and verify still run per candidate.
-                    keys1 = [entry[1] for entry in local_left]
-                    keys2 = [entry[1] for entry in local_right]
-                    match_checks = len(keys1) + len(keys2)  # sort/setup charge
-                    for i, j in join.local_join(keys1, keys2, pplan):
-                        b1, key1, record1 = local_left[i]
-                        b2, key2, record2 = local_right[j]
-                        if not self._safe_match(ctx, b1, b2):
-                            continue
-                        shared = parts_of(b1) & parts_of(b2)
-                        if min(shared) != worker:
-                            continue
-                        dedup_checks += 1
-                        if not self.dedup.keep_local(
-                            join, b1, key1, b2, key2, pplan
-                        ):
-                            continue
-                        matched = self._safe_verify(ctx, key1, key2, pplan)
-                        verify_units += model.predicate_units(v_cost, matched)
-                        if not matched:
-                            continue
-                        joined = record1.concat(record2, out_schema)
-                        rows.append(
-                            self._tag_pair(record1, record2, joined)
-                            if self.dedup.requires_shuffle else joined
-                        )
-                else:
-                    for b1, key1, record1 in local_left:
-                        for b2, key2, record2 in local_right:
-                            match_checks += 1
+                    if join.has_local_join():
+                        # A custom local algorithm (e.g. a sort-merge forward
+                        # scan) enumerates candidates instead of the NLJ; the
+                        # ownership check and verify still run per candidate.
+                        keys1 = [entry[1] for entry in local_left]
+                        keys2 = [entry[1] for entry in local_right]
+                        match_checks = len(keys1) + len(keys2)  # sort/setup charge
+                        for i, j in self._local_join_pairs(ctx, keys1, keys2,
+                                                           pplan):
+                            b1, key1, record1 = local_left[i]
+                            b2, key2, record2 = local_right[j]
                             if not self._safe_match(ctx, b1, b2):
                                 continue
                             shared = parts_of(b1) & parts_of(b2)
                             if min(shared) != worker:
-                                continue  # another partition owns this pair
+                                continue
                             dedup_checks += 1
                             if not self.dedup.keep_local(
                                 join, b1, key1, b2, key2, pplan
@@ -669,21 +722,51 @@ class FudjJoin(PhysicalOperator):
                                 self._tag_pair(record1, record2, joined)
                                 if self.dedup.requires_shuffle else joined
                             )
-                stage.charge(
-                    worker,
-                    match_checks * model.match_op
-                    + verify_units
-                    + dedup_checks * model.comparison,
-                )
-                ctx.metrics.comparisons += dedup_checks
-                return rows
+                    else:
+                        for b1, key1, record1 in local_left:
+                            for b2, key2, record2 in local_right:
+                                match_checks += 1
+                                if not self._safe_match(ctx, b1, b2):
+                                    continue
+                                shared = parts_of(b1) & parts_of(b2)
+                                if min(shared) != worker:
+                                    continue  # another partition owns this pair
+                                dedup_checks += 1
+                                if not self.dedup.keep_local(
+                                    join, b1, key1, b2, key2, pplan
+                                ):
+                                    continue
+                                matched = self._safe_verify(ctx, key1, key2, pplan)
+                                verify_units += model.predicate_units(v_cost, matched)
+                                if not matched:
+                                    continue
+                                joined = record1.concat(record2, out_schema)
+                                rows.append(
+                                    self._tag_pair(record1, record2, joined)
+                                    if self.dedup.requires_shuffle else joined
+                                )
+                    stage.charge(
+                        worker,
+                        match_checks * model.match_op
+                        + verify_units
+                        + dedup_checks * model.comparison,
+                    )
+                    ctx.metrics.comparisons += dedup_checks
+                    if ctx.tracer.enabled:
+                        ctx.tracer.attribute("match", match_checks * model.match_op)
+                        ctx.tracer.attribute("verify", verify_units)
+                        ctx.tracer.attribute(
+                            "dedup", dedup_checks * model.comparison,
+                            calls=dedup_checks,
+                        )
+                    return rows
 
-            rows = ctx.run_task(
-                stage, worker, task,
-                self._restore_bytes(ctx, local_left, local_right),
-            )
-            stage.records_out += len(rows)
-            out.append(rows)
+                rows = ctx.run_task(
+                    stage, worker, task,
+                    self._restore_bytes(ctx, local_left, local_right),
+                )
+                stage.records_out += len(rows)
+                out.append(rows)
         return out
 
 
@@ -707,50 +790,54 @@ def _exchange_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -
     """Hash-exchange assigned entries on bucket id."""
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    out = [[] for _ in range(ctx.num_partitions)]
-    for worker, entries in enumerate(assigned):
-        moved = []
-        for entry in entries:
-            target = hash(entry[0]) % ctx.num_partitions
-            out[target].append(entry)
-            if target != worker:
-                moved.append(entry)
-            stage.charge(worker, model.hash_op)
-        moved_bytes = _entry_bytes(moved, ctx)
-        stage.network_bytes += moved_bytes
-        stage.charge(worker, moved_bytes * model.serde_byte)
-        apply_exchange_faults(ctx, stage, worker, moved_bytes)
-        stage.records_in += len(entries)
-    for worker, entries in enumerate(out):
-        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
-    stage.records_out = sum(len(p) for p in out)
-    return out
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out = [[] for _ in range(ctx.num_partitions)]
+        for worker, entries in enumerate(assigned):
+            moved = []
+            for entry in entries:
+                target = hash(entry[0]) % ctx.num_partitions
+                out[target].append(entry)
+                if target != worker:
+                    moved.append(entry)
+                stage.charge(worker, model.hash_op)
+            moved_bytes = _entry_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += len(entries)
+        for worker, entries in enumerate(out):
+            charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
+        stage.records_out = sum(len(p) for p in out)
+        return out
 
 
 def _spread_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
     """Round-robin assigned entries (theta-join left side)."""
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    out = [[] for _ in range(ctx.num_partitions)]
-    cursor = 0
-    for worker, entries in enumerate(assigned):
-        moved = []
-        for entry in entries:
-            target = cursor % ctx.num_partitions
-            cursor += 1
-            out[target].append(entry)
-            if target != worker:
-                moved.append(entry)
-            stage.charge(worker, model.record_touch)
-        moved_bytes = _entry_bytes(moved, ctx)
-        stage.network_bytes += moved_bytes
-        stage.charge(worker, moved_bytes * model.serde_byte)
-        apply_exchange_faults(ctx, stage, worker, moved_bytes)
-        stage.records_in += len(entries)
-    for worker, entries in enumerate(out):
-        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
-    stage.records_out = sum(len(p) for p in out)
-    return out
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out = [[] for _ in range(ctx.num_partitions)]
+        cursor = 0
+        for worker, entries in enumerate(assigned):
+            moved = []
+            for entry in entries:
+                target = cursor % ctx.num_partitions
+                cursor += 1
+                out[target].append(entry)
+                if target != worker:
+                    moved.append(entry)
+                stage.charge(worker, model.record_touch)
+            moved_bytes = _entry_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += len(entries)
+        for worker, entries in enumerate(out):
+            charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
+        stage.records_out = sum(len(p) for p in out)
+        return out
 
 
 def _route_partitioned(assigned: list, join, num: int, pplan,
@@ -758,43 +845,48 @@ def _route_partitioned(assigned: list, join, num: int, pplan,
     """Send each assigned entry to the match partitions of its bucket."""
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    out = [[] for _ in range(num)]
-    for worker, entries in enumerate(assigned):
-        moved = []
-        for entry in entries:
-            targets = join.partition_buckets(entry[0], num, pplan)
-            for target in targets:
-                out[target].append(entry)
-                if target != worker:
-                    moved.append(entry)
-                stage.charge(worker, model.hash_op)
-        moved_bytes = _entry_bytes(moved, ctx)
-        stage.network_bytes += moved_bytes
-        stage.charge(worker, moved_bytes * model.serde_byte)
-        apply_exchange_faults(ctx, stage, worker, moved_bytes)
-        stage.records_in += len(entries)
-    for worker, entries in enumerate(out):
-        charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
-    stage.records_out = sum(len(p) for p in out)
-    return out
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out = [[] for _ in range(num)]
+        for worker, entries in enumerate(assigned):
+            moved = []
+            for entry in entries:
+                targets = join.partition_buckets(entry[0], num, pplan)
+                for target in targets:
+                    out[target].append(entry)
+                    if target != worker:
+                        moved.append(entry)
+                    stage.charge(worker, model.hash_op)
+            moved_bytes = _entry_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += len(entries)
+        for worker, entries in enumerate(out):
+            charge_checkpoint(ctx, stage, worker, _entry_bytes(entries, ctx))
+        stage.records_out = sum(len(p) for p in out)
+        return out
 
 
 def _broadcast_assigned(assigned: list, ctx: ExecutionContext, stage_name: str) -> list:
     """Broadcast assigned entries to every worker (theta-join right side)."""
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
-    everything = [entry for entries in assigned for entry in entries]
-    total_bytes = _entry_bytes(everything, ctx)
-    stage.fabric_bytes += total_bytes * max(0, ctx.num_partitions - 1)
-    for worker in range(ctx.num_partitions):
-        stage.charge(
-            worker,
-            len(everything) * model.record_touch + total_bytes * model.serde_byte,
-        )
-        # A flaky link to one receiver forces a re-send of its whole copy.
-        apply_exchange_faults(ctx, stage, worker, total_bytes)
-    # One checkpoint copy covers every replica (the data is identical).
-    charge_checkpoint(ctx, stage, 0, total_bytes)
-    stage.records_in = len(everything)
-    stage.records_out = len(everything) * ctx.num_partitions
-    return [list(everything) for _ in range(ctx.num_partitions)]
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        everything = [entry for entries in assigned for entry in entries]
+        total_bytes = _entry_bytes(everything, ctx)
+        stage.fabric_bytes += total_bytes * max(0, ctx.num_partitions - 1)
+        for worker in range(ctx.num_partitions):
+            stage.charge(
+                worker,
+                len(everything) * model.record_touch
+                + total_bytes * model.serde_byte,
+            )
+            # A flaky link to one receiver forces a re-send of its whole copy.
+            apply_exchange_faults(ctx, stage, worker, total_bytes)
+        # One checkpoint copy covers every replica (the data is identical).
+        charge_checkpoint(ctx, stage, 0, total_bytes)
+        stage.records_in = len(everything)
+        stage.records_out = len(everything) * ctx.num_partitions
+        return [list(everything) for _ in range(ctx.num_partitions)]

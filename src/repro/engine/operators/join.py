@@ -44,7 +44,7 @@ class HashJoin(PhysicalOperator):
     def children(self) -> list:
         return [self.left, self.right]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         left_parts = hash_exchange(
@@ -131,7 +131,7 @@ class BlockNestedLoopJoin(PhysicalOperator):
     def children(self) -> list:
         return [self.left, self.right]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         left_parts = left.partitions

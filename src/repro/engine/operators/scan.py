@@ -24,7 +24,7 @@ class Scan(PhysicalOperator):
     def describe(self) -> str:
         return f"SCAN {self.dataset_name} AS {self.alias}"
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         dataset = ctx.cluster.dataset(self.dataset_name)
         schema = dataset.schema.qualify(self.alias)
         stage = ctx.metrics.stage(self.stage_name)
@@ -57,7 +57,7 @@ class Values(PhysicalOperator):
     def describe(self) -> str:
         return f"VALUES ({len(self.rows)} rows)"
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         partitions = [[] for _ in range(ctx.num_partitions)]
         for i, record in enumerate(self.rows):
             partitions[i % ctx.num_partitions].append(record)

@@ -35,7 +35,7 @@ class Sort(PhysicalOperator):
             out.sort(key=lambda r: _orderable(key_fn(r)), reverse=descending)
         return out
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         stage = ctx.metrics.stage(self.stage_name)
         model = ctx.cost_model

@@ -41,7 +41,7 @@ class Unnest(PhysicalOperator):
     def children(self) -> list:
         return [self.child]
 
-    def execute(self, ctx: ExecutionContext) -> OperatorResult:
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
         source = self.child.execute(ctx)
         if self.output_field in source.schema:
             raise ExecutionError(

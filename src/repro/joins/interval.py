@@ -83,7 +83,11 @@ class IntervalJoin(FlexibleJoin):
         min_start = min(summary1.min_start, summary2.min_start)
         max_end = max(summary1.max_end, summary2.max_end)
         length = max_end - min_start
-        granule = length / self.num_buckets if length > 0 else 1.0
+        granule = length / self.num_buckets
+        if granule <= 0.0:
+            # Degenerate or subnormal timelines (a tiny positive length
+            # can underflow to a zero granule) fall back to unit granules.
+            granule = 1.0
         return IntervalPPlan(min_start, granule, self.num_buckets)
 
     def assign(self, interval, pplan: IntervalPPlan, side: JoinSide) -> int:

@@ -1,8 +1,10 @@
-"""Render expression ASTs back to SQL text.
+"""Render expression ASTs back to SQL text, and trace trees as text.
 
 Used by error messages and plan explanations, and property-tested against
 the parser: ``parse(print(e)) == e`` for every expression the grammar can
-produce.
+produce.  :func:`render_trace` is the text backend for ``EXPLAIN
+ANALYZE`` and the shell's ``.trace show`` (the trace module calls it
+lazily, so there is no import cycle).
 """
 
 from __future__ import annotations
@@ -40,6 +42,43 @@ def sql_of(expr: Expr) -> str:
     if isinstance(expr, Not):
         return f"(NOT {sql_of(expr.child)})"
     raise PlanError(f"cannot print expression: {expr!r}")
+
+
+def render_trace(trace) -> str:
+    """Aligned text tree of a query :class:`~repro.engine.tracing.Trace`.
+
+    One line per span, children indented two spaces under their parent.
+    The units column is the span's *subtree* total, so every line's
+    children sum to it and the root line equals the query's total CPU
+    units.  Callback lines show their call (and failure) counts.
+    """
+    header = (
+        f"{'span':<46} {'units':>12} {'wall ms':>9} {'in':>8} {'out':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    _render_span(trace.root, 0, lines)
+    return "\n".join(lines)
+
+
+def _render_span(span, indent: int, lines: list) -> None:
+    label = " " * indent + span.name
+    if span.kind == "callback":
+        label += f" x{span.calls}"
+        if span.errors:
+            label += f" ({span.errors} failed)"
+    imbalance = span.meta.get("imbalance")
+    if imbalance is not None:
+        label += f" imb={imbalance:.2f}"
+    if len(label) > 46:
+        label = label[:43] + "..."
+    records_in = span.records_in if span.records_in else "-"
+    records_out = span.records_out if span.records_out else "-"
+    lines.append(
+        f"{label:<46} {span.total_units():>12.0f} "
+        f"{span.wall_seconds * 1000:>9.3f} {records_in:>8} {records_out:>8}"
+    )
+    for child in span.children:
+        _render_span(child, indent + 2, lines)
 
 
 def _literal(value) -> str:

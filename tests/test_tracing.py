@@ -1,0 +1,390 @@
+"""Trace correctness: the span tree is shaped like the plan, its units
+sum to the metrics totals (no double counting), skew histograms account
+for every partitioned record, wall clocks are monotonic, and the
+serialized trace is byte-identical across repeated runs — including
+under seeded fault injection.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import workloads
+from repro.cli import Shell
+from repro.engine import Cluster, FaultPlan, Schema
+from repro.engine.executor import execute_plan
+from repro.engine.operators import FudjJoin, Scan
+from repro.engine.operators.filter import Filter
+from repro.engine.tracing import BucketSkew, Span, Trace, Tracer
+from repro.serde.values import unbox
+from tests.helpers import BandJoin
+
+
+def build_plan(join=None, filter_left=False):
+    """A FUDJ plan over two small integer datasets."""
+    cluster = Cluster(num_partitions=3)
+    left = cluster.create_dataset("L", Schema(["id", "k"]), "id")
+    left.bulk_load({"id": i, "k": float(i % 7)} for i in range(30))
+    right = cluster.create_dataset("R", Schema(["id", "k"]), "id")
+    right.bulk_load({"id": i, "k": float(i % 5)} for i in range(20))
+    left_op = Scan("L", "l")
+    if filter_left:
+        left_op = Filter(left_op, lambda r: unbox(r["l.id"]) < 25)
+    op = FudjJoin(
+        left_op, Scan("R", "r"), join or BandJoin(1.0, 4),
+        lambda r: unbox(r["l.k"]), lambda r: unbox(r["r.k"]),
+    )
+    return op, cluster
+
+
+def run_traced(join=None, fault_plan=None, filter_left=False, **kwargs):
+    op, cluster = build_plan(join, filter_left=filter_left)
+    return op, execute_plan(op, cluster, trace=True, fault_plan=fault_plan,
+                            **kwargs)
+
+
+class TestSpanTreeShape:
+    def test_root_is_query_span(self):
+        _, result = run_traced()
+        assert result.trace.root.name == "query"
+        assert result.trace.root.kind == "query"
+
+    def test_operator_spans_mirror_the_plan(self):
+        op, result = run_traced(filter_left=True)
+
+        def plan_shape(node):
+            return (node.stage_name,
+                    tuple(plan_shape(c) for c in node.children()))
+
+        def span_shape(span):
+            return (span.name,
+                    tuple(span_shape(c) for c in span.children
+                          if c.kind == "operator"))
+
+        roots = [s for s in result.trace.root.children
+                 if s.kind == "operator"]
+        assert len(roots) == 1
+        assert span_shape(roots[0]) == plan_shape(op)
+
+    def test_fudj_span_has_all_three_phases(self):
+        _, result = run_traced()
+        fudj = next(s for s in result.trace.walk()
+                    if s.name.startswith("fudj-join"))
+        phases = [c.name for c in fudj.children if c.kind == "phase"]
+        assert phases == ["SUMMARIZE", "PARTITION", "COMBINE"]
+
+    def test_callback_spans_present(self):
+        _, result = run_traced()
+        names = {s.name for s in result.trace.walk() if s.kind == "callback"}
+        assert {"local_aggregate", "global_aggregate", "divide", "assign",
+                "verify"} <= names
+
+    def test_trace_off_by_default(self):
+        op, cluster = build_plan()
+        result = execute_plan(op, cluster)
+        assert result.trace is None
+
+
+class TestUnitAccounting:
+    def test_trace_units_equal_metrics_units(self):
+        _, result = run_traced()
+        assert result.trace.total_units() == pytest.approx(
+            result.metrics.total_cpu_units()
+        )
+
+    def test_fudj_phase_units_sum_to_fudj_stage_units(self):
+        _, result = run_traced()
+        fudj = next(s for s in result.trace.walk()
+                    if s.name.startswith("fudj-join"))
+        prefix = fudj.name + "/"
+        stage_total = sum(
+            stage.total_units() for stage in result.metrics.stages
+            if stage.name.startswith(prefix)
+        )
+        phase_total = sum(c.total_units() for c in fudj.children
+                          if c.kind == "phase")
+        # The phases hold everything the join charged except the span's
+        # own residue (e.g. the operator-level dedup decision overhead).
+        assert phase_total + fudj.units == pytest.approx(stage_total)
+
+    def test_multi_join_attributes_match_units(self):
+        from repro.interval import Interval
+        from repro.joins.interval import IntervalJoin
+
+        cluster = Cluster(num_partitions=3)
+        left = cluster.create_dataset("L", Schema(["id", "iv"]), "id")
+        left.bulk_load(
+            {"id": i, "iv": Interval(float(i), float(i + 2))}
+            for i in range(12)
+        )
+        right = cluster.create_dataset("R", Schema(["id", "iv"]), "id")
+        right.bulk_load(
+            {"id": i, "iv": Interval(float(i) + 0.5, float(i) + 1.5)}
+            for i in range(12)
+        )
+        op = FudjJoin(
+            Scan("L", "l"), Scan("R", "r"), IntervalJoin(16),
+            lambda r: unbox(r["l.iv"]), lambda r: unbox(r["r.iv"]),
+        )
+        result = execute_plan(op, cluster, trace=True)
+        names = {s.name for s in result.trace.walk() if s.kind == "callback"}
+        assert "match" in names
+        assert result.trace.total_units() == pytest.approx(
+            result.metrics.total_cpu_units()
+        )
+
+    def test_tracing_does_not_change_charges_or_rows(self):
+        op1, cluster1 = build_plan()
+        plain = execute_plan(op1, cluster1)
+        op2, cluster2 = build_plan()
+        traced = execute_plan(op2, cluster2, trace=True)
+        assert traced.rows == plain.rows
+        assert traced.metrics.total_cpu_units() == pytest.approx(
+            plain.metrics.total_cpu_units()
+        )
+        assert traced.metrics.total_network_bytes() == pytest.approx(
+            plain.metrics.total_network_bytes()
+        )
+
+
+class TestSkewDiagnostics:
+    def test_histogram_accounts_for_every_assignment(self):
+        _, result = run_traced()
+        assert result.trace.skew  # both sides noted
+        for name, skew in result.trace.skew.items():
+            stage = result.metrics.find_stage(name)
+            assert stage is not None
+            assert skew.assignments == stage.records_out
+            assert skew.records_in == stage.records_in
+
+    def test_replication_factor_single_vs_multi_assign(self):
+        _, single = run_traced(join=BandJoin(0.0, 4))
+        for skew in single.trace.skew.values():
+            assert skew.replication_factor() == pytest.approx(1.0)
+        _, multi = run_traced(join=BandJoin(3.0, 8))
+        factors = [s.replication_factor() for s in multi.trace.skew.values()]
+        assert max(factors) > 1.0
+
+    def test_top_buckets_sorted_and_capped(self):
+        skew = BucketSkew("s", 10, {1: 5, 2: 9, 3: 5, 4: 1})
+        assert skew.top_buckets(2) == [(2, 9), (1, 5)]
+        assert skew.imbalance() == pytest.approx(9 / 5)
+
+    def test_skew_report_text(self):
+        _, result = run_traced()
+        report = result.trace.skew_report()
+        assert "replication" in report
+        assert "heaviest buckets" in report
+
+
+class TestWallClocks:
+    def test_children_never_exceed_parent(self):
+        _, result = run_traced()
+        result.trace.validate_wall()
+
+    def test_root_wall_matches_metrics_wall(self):
+        _, result = run_traced()
+        root = result.trace.root
+        assert root.wall_seconds >= sum(
+            c.wall_seconds for c in root.children
+        )
+        assert root.wall_seconds >= result.metrics.wall_seconds - 1e-9
+
+    def test_validate_wall_rejects_bad_tree(self):
+        root = Span("query", "query")
+        child = root.child("op", "operator")
+        root.wall_seconds = 0.5
+        child.wall_seconds = 2.0
+        with pytest.raises(AssertionError, match="exceeds parent"):
+            Trace(root).validate_wall()
+
+
+class TestDeterminism:
+    """Re-running the same query (same plan, same data, same fault
+    seed) serializes to byte-identical traces — the default ``to_dict``
+    and Chrome export carry charged units only, never wall clocks."""
+
+    @staticmethod
+    def canonical(result):
+        return json.dumps(result.trace.to_dict(), sort_keys=True)
+
+    def test_to_dict_identical_across_runs(self):
+        op, cluster = build_plan()
+        first = execute_plan(op, cluster, trace=True)
+        second = execute_plan(op, cluster, trace=True)
+        assert self.canonical(first) == self.canonical(second)
+
+    def test_chrome_trace_bytes_identical_across_runs(self, tmp_path):
+        op, cluster = build_plan()
+        paths = []
+        for tag in ("a", "b"):
+            result = execute_plan(op, cluster, trace=True)
+            path = tmp_path / f"trace-{tag}.json"
+            result.trace.to_chrome_trace(str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_deterministic_under_fault_injection(self, tmp_path):
+        op, cluster = build_plan()
+        dumps = []
+        for tag in ("a", "b"):
+            result = execute_plan(op, cluster, trace=True,
+                                  fault_plan=FaultPlan.parse("7:0.2"))
+            assert (result.metrics.tasks_retried
+                    or result.metrics.exchange_retries)
+            dumps.append(self.canonical(result))
+            path = tmp_path / f"faulty-{tag}.json"
+            result.trace.to_chrome_trace(str(path))
+            dumps.append(path.read_bytes())
+        assert dumps[0] == dumps[2]
+        assert dumps[1] == dumps[3]
+
+    def test_chrome_trace_is_valid_event_json(self, tmp_path):
+        _, result = run_traced()
+        path = tmp_path / "trace.json"
+        result.trace.to_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events[0]["name"] == "query"
+        assert all(e["ph"] == "X" for e in events)
+        total = result.trace.total_units()
+        assert events[0]["dur"] == pytest.approx(total, abs=0.01)
+
+    def test_chrome_trace_wall_clock_option(self, tmp_path):
+        _, result = run_traced()
+        path = tmp_path / "wall.json"
+        result.trace.to_chrome_trace(str(path), clock="wall")
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["dur"] >= 0
+        with pytest.raises(ValueError, match="clock"):
+            result.trace.to_chrome_trace(str(path), clock="cpu")
+
+
+class TestCallbackErrors:
+    def test_failed_callbacks_counted(self):
+        class Flaky(BandJoin):
+            def verify(self, k1, k2, pplan):
+                if k1 == 3.0:
+                    raise ValueError("poison")
+                return super().verify(k1, k2, pplan)
+
+        _, result = run_traced(join=Flaky(1.0, 4), on_error="quarantine")
+        verify = next(s for s in result.trace.walk()
+                      if s.kind == "callback" and s.name == "verify"
+                      and s.errors)
+        assert verify.errors >= 1
+        assert verify.calls >= verify.errors
+        assert result.metrics.records_quarantined >= 1
+
+
+class TestDatabaseIntegration:
+    def test_database_trace_flag_and_override(self):
+        db = workloads.spatial_database(40, 200)
+        assert db.execute(workloads.SPATIAL_SQL).trace is None
+        traced = db.execute(workloads.SPATIAL_SQL, trace=True)
+        assert traced.trace is not None
+        db.trace = True
+        assert db.execute(workloads.SPATIAL_SQL).trace is not None
+        assert db.execute(workloads.SPATIAL_SQL, trace=False).trace is None
+
+    def test_explain_analyze_includes_trace_tree(self):
+        db = workloads.spatial_database(40, 200)
+        result = db.execute("EXPLAIN ANALYZE " + workloads.SPATIAL_SQL)
+        text = "\n".join(row["plan"] for row in result.rows)
+        assert "SUMMARIZE" in text
+        assert "PARTITION" in text
+        assert "COMBINE" in text
+        assert "assign x" in text
+        assert "skew" in text
+
+    def test_render_shows_callback_calls(self):
+        _, result = run_traced()
+        rendered = result.trace.render()
+        assert "local_aggregate x" in rendered
+        assert "SUMMARIZE" in rendered
+
+
+class TestShellTrace:
+    @pytest.fixture()
+    def shell_and_output(self):
+        lines = []
+        shell = Shell(write=lines.append)
+        return shell, lines
+
+    @staticmethod
+    def text_of(lines):
+        return "\n".join(str(line) for line in lines)
+
+    def test_trace_on_prints_tree(self, shell_and_output):
+        shell, lines = shell_and_output
+        shell._load_demo("spatial")
+        shell._dot_command(".trace on")
+        assert shell.trace
+        lines.clear()
+        shell.run_statement(workloads.SPATIAL_SQL)
+        output = self.text_of(lines)
+        assert "SUMMARIZE" in output
+        assert "skew" in output
+
+    def test_trace_show_and_save(self, shell_and_output, tmp_path):
+        shell, lines = shell_and_output
+        shell._dot_command(".trace show")
+        assert "no trace recorded" in self.text_of(lines)
+        shell._load_demo("spatial")
+        shell._dot_command(".trace on")
+        shell.run_statement(workloads.SPATIAL_SQL)
+        lines.clear()
+        shell._dot_command(".trace show")
+        assert "SUMMARIZE" in self.text_of(lines)
+        path = tmp_path / "out.json"
+        lines.clear()
+        shell._dot_command(f".trace save {path}")
+        assert "saved" in self.text_of(lines)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_trace_off_and_usage(self, shell_and_output):
+        shell, lines = shell_and_output
+        shell._dot_command(".trace on")
+        shell._dot_command(".trace off")
+        assert not shell.trace
+        lines.clear()
+        shell._dot_command(".trace sideways")
+        assert "usage" in self.text_of(lines)
+
+    def test_main_trace_flag(self, tmp_path):
+        from repro.cli import main
+
+        script = tmp_path / "s.sql"
+        script.write_text("CREATE TYPE T { id: int };\n")
+        assert main(["--trace", str(script)]) == 0
+
+
+class TestTracerUnit:
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            assert span is None
+        assert tracer.finish() is None
+
+    def test_attribute_moves_units(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            tracer.record_units(100.0)
+            tracer.attribute("verify", 30.0, calls=3)
+        trace = tracer.finish(wall_seconds=0.001)
+        stage = trace.find("stage")
+        assert stage.units == pytest.approx(70.0)
+        verify = trace.find("verify")
+        assert verify.units == pytest.approx(30.0)
+        assert verify.calls == 3
+        assert trace.total_units() == pytest.approx(100.0)
+
+    def test_callback_child_aggregates(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            tracer.record_call("assign", 0.001)
+            tracer.record_call("assign", 0.002, ok=False)
+        trace = tracer.finish(wall_seconds=0.01)
+        assign = trace.find("assign")
+        assert assign.calls == 2
+        assert assign.errors == 1

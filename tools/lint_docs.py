@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Docs linter: keep the documented surface honest.
+
+Three checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links resolve.** Every relative markdown link (and image) points at
+   a file or directory that exists; fragment-only links and absolute
+   URLs are skipped.
+2. **Dot-commands are documented.** Every ``.``-prefixed command the
+   shell accepts (parsed from ``repro.cli``'s help text) is mentioned
+   somewhere in the docs.
+3. **Database kwargs are documented.** Every keyword of the public
+   ``Database(...)`` constructor (via ``inspect.signature``) is
+   mentioned somewhere in the docs.
+
+Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
+with one line per violation.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown links/images: [text](target) — targets split off any #fragment.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: A dot-command line in the shell help: "    .name arg-spec   description".
+_DOT_COMMAND = re.compile(r"^\s{4}(\.[a-z]+)\s", re.MULTILINE)
+
+
+def doc_files() -> list:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(files: list) -> list:
+    problems = []
+    for path in files:
+        for match in _LINK.finditer(path.read_text()):
+            target = match.group(1).split("#", 1)[0]
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def shell_dot_commands() -> set:
+    from repro import cli
+
+    commands = set(_DOT_COMMAND.findall(cli.__doc__))
+    # .exit is an undocumented alias of .quit; hold the docs to the
+    # advertised surface.
+    return commands
+
+
+def database_kwargs() -> set:
+    from repro.database import Database
+
+    params = inspect.signature(Database.__init__).parameters
+    return {name for name in params if name != "self"}
+
+
+def check_mentions(files: list, needles: set, what: str) -> list:
+    corpus = "\n".join(path.read_text() for path in files)
+    problems = []
+    for needle in sorted(needles):
+        # Word-ish match: the token must appear verbatim (dot-commands
+        # include their leading dot; kwargs are plain identifiers).
+        if not re.search(re.escape(needle) + r"\b", corpus):
+            problems.append(f"{what} {needle!r} is not documented in "
+                            "README.md or docs/")
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    files = doc_files()
+    if len(files) < 2:
+        print("lint-docs: no docs found — is the repo layout intact?")
+        return 1
+    problems = []
+    problems += check_links(files)
+    problems += check_mentions(files, shell_dot_commands(), "dot-command")
+    problems += check_mentions(files, database_kwargs(), "Database kwarg")
+    for problem in problems:
+        print(f"lint-docs: {problem}")
+    if problems:
+        print(f"lint-docs: {len(problems)} problem(s)")
+        return 1
+    print(f"lint-docs: {len(files)} files clean "
+          f"({len(shell_dot_commands())} dot-commands, "
+          f"{len(database_kwargs())} Database kwargs checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
