@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-check lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry bench bench-check lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,10 @@ test:
 test-faults:      ## fault-tolerance tests + ablation benchmark
 	$(PYTHON) -m pytest tests/test_fault_tolerance.py tests/test_failure_injection.py -q
 	$(PYTHON) -m pytest benchmarks/bench_fault_tolerance.py --benchmark-disable -q
+
+test-telemetry:   ## metrics registry, query history, sys.* tables
+	$(PYTHON) -m pytest tests/test_telemetry.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_observability.py --metrics-out /tmp/fudj-metrics.json
 
 bench:            ## full run: timings + shape assertions + results/*.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

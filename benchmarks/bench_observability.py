@@ -133,3 +133,49 @@ class TestPhaseBreakdown:
                   "FUDJ join (share of charged units)",
         ))
         benchmark(lambda: timed_run(*WORKLOADS[0][1:], trace=True))
+
+
+def main(argv=None) -> int:
+    """Standalone run: execute the three workloads into one shared
+    telemetry hub and optionally write its snapshot.
+
+    ``--metrics-out <path>`` picks the format by extension
+    (``.prom``/``.txt`` -> Prometheus text exposition, else canonical
+    JSON).  CI runs this and uploads the snapshot as a build artifact,
+    so a regression in the metrics surface shows up as an artifact diff.
+    """
+    import sys
+
+    from repro.engine.telemetry import Telemetry
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    out = None
+    if "--metrics-out" in args:
+        at = args.index("--metrics-out")
+        if at + 1 >= len(args):
+            print("--metrics-out needs a path", file=sys.stderr)
+            return 1
+        out = args[at + 1]
+    hub = Telemetry()
+    for name, make_db, sql in WORKLOADS:
+        db = make_db()
+        # All three databases record into one hub so the snapshot covers
+        # the whole run (sys.* tables keep pointing at each db's own
+        # telemetry; only recording is redirected).
+        db.telemetry = hub
+        result = db.execute(sql, mode="fudj", measure_bytes=False,
+                            trace=True)
+        print(f"{name}: {len(result.rows)} rows, "
+              f"{result.metrics.total_cpu_units():.0f} units, "
+              f"{result.metrics.simulated_seconds(CORES) * 1000:.2f} "
+              f"simulated ms on {CORES} cores")
+    if out is not None:
+        fmt = ("prometheus" if out.endswith((".prom", ".txt")) else "json")
+        with open(out, "w") as handle:
+            handle.write(hub.snapshot(fmt))
+        print(f"metrics snapshot ({fmt}) written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

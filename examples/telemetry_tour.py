@@ -1,0 +1,93 @@
+"""A guided tour of the telemetry layer: registry, history, sys tables.
+
+Where ``trace_tour.py`` dissects one query, this tour watches a whole
+*session*:
+
+1. run a small mixed workload (DDL, queries, one failure) and read the
+   bounded query history;
+2. query the session **through SQL itself** — ``sys.queries``,
+   ``sys.stages``, and ``sys.metrics`` are ordinary datasets to the
+   planner;
+3. export the metrics registry as Prometheus text and canonical JSON,
+   and show both are deterministic (a second identical session produces
+   byte-identical snapshots);
+4. show retention: a small ``history_limit`` evicts the oldest records
+   while the counters keep the true totals.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+from repro.database import Database
+
+
+def build_session(history_limit=256):
+    db = Database(history_limit=history_limit)
+    db.execute("CREATE TYPE T { id: int, k: int, v: int }")
+    db.execute("CREATE DATASET L(T) PRIMARY KEY id")
+    db.execute("CREATE DATASET R(T) PRIMARY KEY id")
+    db.load("L", [{"id": i, "k": i % 5, "v": i} for i in range(60)])
+    db.load("R", [{"id": i, "k": i % 5, "v": i * 2} for i in range(40)])
+    db.execute("SELECT l.id, r.v FROM L l, R r WHERE l.k = r.k")
+    db.execute("SELECT l.k, COUNT(1) AS n FROM L l GROUP BY l.k")
+    try:
+        db.execute("SELECT x.nope FROM Missing x")  # recorded as an error
+    except Exception:
+        pass
+    return db
+
+
+db = build_session()
+
+# 1. The history log: one structured record per statement, failures too.
+print("Query history (sql, status, rows, cpu units):")
+for entry in db.telemetry.history.entries():
+    sql = entry["sql"] if len(entry["sql"]) <= 48 else entry["sql"][:45] + "..."
+    print(f"  #{entry['id']} {entry['status']:<6} rows={entry['rows']:<5} "
+          f"units={entry['cpu_units']:>7.0f}  {sql}")
+
+# 2. The same facts through plain SQL — sys.* tables bind, plan, and
+#    scan like any dataset (note the dotted FROM and SELECT *).
+print("\nSELECT q.status, COUNT(1) FROM sys.queries q GROUP BY q.status:")
+result = db.execute(
+    "SELECT q.status, COUNT(1) AS n FROM sys.queries q GROUP BY q.status"
+)
+statuses = {row["q.status"]: row["n"] for row in result.rows}
+print(f"  {statuses}")
+assert statuses.get("error") == 1, "the failed query must be on record"
+
+print("\nWork by FUDJ phase (from sys.stages):")
+result = db.execute(
+    "SELECT s.phase, SUM(s.cpu_units) AS units FROM sys.stages s "
+    "GROUP BY s.phase ORDER BY s.phase"
+)
+for row in result.rows:
+    print(f"  {row['s.phase']:<10} {row['units']:>10.0f} units")
+
+wide = db.execute("SELECT * FROM sys.queries")
+print(f"\nSELECT * FROM sys.queries -> {len(wide.rows)} rows x "
+      f"{len(wide.schema)} columns")
+
+# 3. Snapshots: Prometheus text exposition or canonical JSON, both
+#    deterministic — only charged units and counters, never wall clocks.
+prom = db.metrics_snapshot("prometheus")
+print("\nPrometheus snapshot (first lines):")
+for line in prom.splitlines()[:8]:
+    print(f"  {line}")
+
+# (Two *fresh* twins: `db` itself has since executed the sys.* queries
+# above, which are recorded like any other statement.)
+twin_a, twin_b = build_session(), build_session()
+assert twin_a.metrics_snapshot() == twin_b.metrics_snapshot(), \
+    "identical sessions must snapshot byte-identically (JSON)"
+assert (twin_a.metrics_snapshot("prometheus")
+        == twin_b.metrics_snapshot("prometheus")), \
+    "identical sessions must snapshot byte-identically (Prometheus)"
+print("\nTwo identical sessions produced byte-identical snapshots.")
+
+# 4. Retention: the log is bounded; eviction is visible in the gauges.
+small = build_session(history_limit=3)
+history = small.telemetry.history
+assert len(history) == 3 and history.evicted > 0
+print(f"\nWith history_limit=3: {len(history)} records retained, "
+      f"{history.evicted} evicted (oldest first); "
+      f"sys.queries now has {len(small.execute('SELECT * FROM sys.queries').rows)} rows.")

@@ -43,11 +43,21 @@ class DatasetInfo:
 
 
 class Catalog:
-    """Types and dataset metadata for one database."""
+    """Types and dataset metadata for one database.
+
+    Besides user datasets, the catalog holds *virtual tables* —
+    engine-provided relations (the ``sys.*`` introspection surface)
+    whose rows are produced on demand by the cluster.  Virtual tables
+    resolve through :meth:`dataset_info` like any dataset, so the
+    binder and planner need no special cases; they are excluded from
+    :meth:`dataset_names` (and therefore from persistence) and cannot
+    be created or dropped via DDL.
+    """
 
     def __init__(self) -> None:
         self._types = {}
         self._datasets = {}
+        self._virtual = {}
 
     # -- types ----------------------------------------------------------------
 
@@ -82,6 +92,11 @@ class Catalog:
     def create_dataset(self, name: str, type_name: str, primary_key: str) -> DatasetInfo:
         if name in self._datasets:
             raise CatalogError(f"dataset already exists: {name}")
+        if name in self._virtual or name.lower().startswith("sys."):
+            raise CatalogError(
+                f"cannot create dataset {name}: the sys.* namespace is "
+                f"reserved for virtual tables"
+            )
         type_info = self.type_info(type_name)
         if primary_key not in type_info.field_names:
             raise CatalogError(
@@ -92,18 +107,50 @@ class Catalog:
         return info
 
     def drop_dataset(self, name: str) -> None:
+        if name in self._virtual:
+            raise CatalogError(f"cannot drop virtual table: {name}")
         if name not in self._datasets:
             raise CatalogError(f"no such dataset: {name}")
         del self._datasets[name]
 
     def dataset_info(self, name: str) -> DatasetInfo:
-        try:
-            return self._datasets[name]
-        except KeyError:
-            raise CatalogError(f"no such dataset: {name}") from None
+        info = self._datasets.get(name) or self._virtual.get(name)
+        if info is None:
+            raise CatalogError(f"no such dataset: {name}")
+        return info
 
     def has_dataset(self, name: str) -> bool:
-        return name in self._datasets
+        return name in self._datasets or name in self._virtual
 
     def dataset_names(self) -> list:
+        """User datasets only — virtual tables are listed separately by
+        :meth:`virtual_names` (and are never persisted)."""
         return sorted(self._datasets)
+
+    # -- virtual tables --------------------------------------------------------
+
+    def register_virtual_table(self, name: str, fields) -> DatasetInfo:
+        """Register an engine-provided relation (``sys.*``).
+
+        ``fields`` is ``[(field_name, type_name), ...]``; types are
+        validated like ``CREATE TYPE`` fields.  The entry resolves via
+        :meth:`dataset_info` but is invisible to :meth:`dataset_names`.
+        """
+        if name in self._datasets or name in self._virtual:
+            raise CatalogError(f"dataset already exists: {name}")
+        for field_name, type_name in fields:
+            if type_name.lower() not in VALID_FIELD_TYPES:
+                raise CatalogError(
+                    f"unknown field type {type_name!r} for {name}.{field_name}"
+                )
+        field_names = tuple(field_name for field_name, _ in fields)
+        info = DatasetInfo(name, "$virtual", field_names,
+                           field_names[0] if field_names else "")
+        self._virtual[name] = info
+        return info
+
+    def is_virtual(self, name: str) -> bool:
+        return name in self._virtual
+
+    def virtual_names(self) -> list:
+        return sorted(self._virtual)

@@ -9,6 +9,9 @@ Usage::
     python -m repro --inject-faults 7:0.05 # seeded fault injection
                                            # (SEED:RATE or
                                            #  SEED:CRASH:STRAGGLER:EXCHANGE)
+    python -m repro --metrics-out m.json   # write the telemetry snapshot
+                                           # on exit (.prom/.txt for
+                                           # Prometheus text exposition)
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
@@ -21,6 +24,11 @@ session:
                                 phase/callback tree and skew report after
                                 each query, re-show the last trace, or
                                 export it as a Chrome/Perfetto JSON file
+    .metrics show|save <path>|reset  the telemetry registry: print the
+                                Prometheus text exposition, save a
+                                snapshot (JSON, or Prometheus for
+                                .prom/.txt paths), or zero the counters
+                                and clear the query history
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -127,20 +135,9 @@ class Shell:
         else:
             self.write("ok")
         if self.timing and result.metrics.wall_seconds:
-            cores = self.db.cluster.cores
-            metrics = result.metrics
-            line = (
-                f"[{len(result.rows)} row(s), "
-                f"wall {metrics.wall_seconds * 1000:.1f} ms, "
-                f"simulated {metrics.simulated_seconds(cores) * 1000:.2f} ms "
-                f"on {cores} cores"
-            )
-            retries = metrics.tasks_retried + metrics.exchange_retries
-            if retries:
-                line += f", {retries} retries"
-            if metrics.records_quarantined:
-                line += f", {metrics.records_quarantined} quarantined"
-            self.write(line + "]")
+            from repro.query.printer import render_timing_line
+
+            self.write(render_timing_line(result, self.db.cluster.cores))
 
     # -- dot commands ------------------------------------------------------------------
 
@@ -214,6 +211,22 @@ class Shell:
                                    "(open in chrome://tracing or Perfetto)")
             else:
                 self.write("usage: .trace on|off|show|save <path>")
+        elif name == ".metrics":
+            if not args or args[0] == "show":
+                self.write(self.db.metrics_snapshot("prometheus"))
+            elif args[0] == "reset":
+                self.db.telemetry.reset()
+                self.write("metrics reset (counters zeroed, history "
+                           "cleared)")
+            elif len(args) == 2 and args[0] == "save":
+                try:
+                    _write_metrics(self.db, args[1])
+                except OSError as exc:
+                    self.write(f"error: cannot write metrics: {exc}")
+                else:
+                    self.write(f"metrics saved to {args[1]}")
+            else:
+                self.write("usage: .metrics show|save <path>|reset")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -285,10 +298,26 @@ class Shell:
         self.write(f"  {queries[which]};")
 
 
+def _write_metrics(db: Database, path: str) -> None:
+    """Write the telemetry snapshot to ``path``; the extension picks the
+    format (``.prom``/``.txt`` → Prometheus text exposition, else JSON)."""
+    fmt = ("prometheus" if path.endswith((".prom", ".txt")) else "json")
+    with open(path, "w") as handle:
+        handle.write(db.metrics_snapshot(fmt))
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
     fault_plan = None
+    metrics_out = None
+    if "--metrics-out" in argv:
+        at = argv.index("--metrics-out")
+        if at + 1 >= len(argv):
+            print("--metrics-out needs a path", file=sys.stderr)
+            return 1
+        metrics_out = argv[at + 1]
+        del argv[at:at + 2]
     if "--inject-faults" in argv:
         at = argv.index("--inject-faults")
         if at + 1 >= len(argv):
@@ -320,7 +349,7 @@ def main(argv=None) -> int:
         except OSError as exc:
             print(f"cannot read script: {exc}", file=sys.stderr)
             return 1
-        return 0
+        return _finish(shell, metrics_out)
     print("FUDJ shell — statements end with ';', .help for commands")
     try:
         while True:
@@ -333,4 +362,19 @@ def main(argv=None) -> int:
                 break
     except KeyboardInterrupt:
         pass
+    return _finish(shell, metrics_out)
+
+
+def _finish(shell: Shell, metrics_out: str) -> int:
+    """Flush the exit-time telemetry snapshot (``.demo``/``.open`` swap
+    ``shell.db``, so the snapshot comes from the session's final
+    database)."""
+    if metrics_out is None:
+        return 0
+    try:
+        _write_metrics(shell.db, metrics_out)
+    except OSError as exc:
+        print(f"cannot write metrics: {exc}", file=sys.stderr)
+        return 1
+    print(f"metrics written to {metrics_out}")
     return 0

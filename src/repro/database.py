@@ -23,6 +23,8 @@ operators), ``"ontop"`` (scalar UDF inside a nested-loop join).
 
 from __future__ import annotations
 
+import time
+
 from repro.catalog import Catalog
 from repro.core.dedup import (
     DedupStrategy,
@@ -36,7 +38,14 @@ from repro.engine.context import ERROR_POLICIES
 from repro.engine.costs import CostModel
 from repro.engine.executor import QueryResult, execute_plan
 from repro.engine.faults import FaultPlan
-from repro.errors import PlanError, ReproError
+from repro.engine.telemetry import Telemetry, register_sys_tables
+from repro.errors import (
+    FudjCallbackError,
+    PlanError,
+    QueryTimeoutError,
+    ReproError,
+    TaskFailedError,
+)
 from repro.optimizer import ExecutionMode, bind_select, optimize, plan_physical
 from repro.query.functions import default_function_registry
 from repro.query.logical import (
@@ -73,7 +82,8 @@ class Database:
                  cost_model: CostModel = None, fault_plan=None,
                  on_error: str = "fail",
                  query_timeout: float = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 history_limit: int = 256) -> None:
         self.cluster = Cluster(num_partitions, cores, cost_model)
         self.catalog = Catalog()
         self.functions = default_function_registry()
@@ -83,6 +93,11 @@ class Database:
         self.on_error = _check_policy(on_error)
         self.query_timeout = query_timeout
         self.trace = bool(trace)
+        #: Metrics registry + bounded query history; ``history_limit``
+        #: caps retained records (oldest evicted first).  Registers the
+        #: ``sys.*`` introspection tables on catalog and cluster.
+        self.telemetry = Telemetry(history_limit=history_limit)
+        register_sys_tables(self)
 
     # -- SQL entry points -----------------------------------------------------------
 
@@ -125,7 +140,31 @@ class Database:
         timeout = (self.query_timeout if query_timeout is _UNSET
                    else query_timeout)
         tracing = self.trace if trace is _UNSET else bool(trace)
-        statement = parse_statement(sql)
+        mode_text = mode.value if isinstance(mode, ExecutionMode) else str(mode)
+        started = time.perf_counter()
+        kind = "invalid"
+        try:
+            statement = parse_statement(sql)
+            kind = _statement_kind(statement)
+            result = self._execute_statement(
+                statement, mode, dedup, measure_bytes, summarize_sample,
+                faults, policy, timeout, tracing)
+        except ReproError as exc:
+            self.telemetry.record_statement(
+                sql, kind, mode_text, _error_status(exc), error=exc,
+                cores=self.cluster.cores,
+                wall_seconds=time.perf_counter() - started)
+            raise
+        self.telemetry.record_statement(
+            sql, kind, mode_text, "ok", metrics=result.metrics,
+            rows=len(result.rows), trace=result.trace,
+            cores=self.cluster.cores,
+            wall_seconds=time.perf_counter() - started)
+        return result
+
+    def _execute_statement(self, statement, mode, dedup, measure_bytes,
+                           summarize_sample, faults, policy, timeout,
+                           tracing) -> QueryResult:
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
                                      summarize_sample)
@@ -138,6 +177,16 @@ class Database:
                                          _to_dedup(dedup), measure_bytes,
                                          faults, policy, timeout)
         return self._execute_ddl(statement)
+
+    def metrics_snapshot(self, fmt: str = "json") -> str:
+        """The process-wide metrics registry, rendered deterministically.
+
+        ``fmt`` is ``"json"`` (canonical: sorted keys, no whitespace) or
+        ``"prometheus"`` (text exposition).  The snapshot contains only
+        charged units, simulated seconds, and counters — never wall
+        clocks — so two identical sessions render byte-identically.
+        """
+        return self.telemetry.snapshot(fmt)
 
     def explain(self, sql: str, mode="fudj") -> str:
         """The optimized physical plan of a SELECT, as indented text."""
@@ -272,6 +321,33 @@ class Database:
     def register_udf(self, name: str, fn, arity: int = -1) -> None:
         """Register a scalar UDF usable in any query (the on-top path)."""
         self.functions.register_udf(name, fn, arity)
+
+
+_STATEMENT_KINDS = (
+    (SelectStatement, "select"),
+    (ExplainStatement, "explain"),
+    (CreateTypeStatement, "create_type"),
+    (CreateDatasetStatement, "create_dataset"),
+    (CreateJoinStatement, "create_join"),
+    (DropJoinStatement, "drop_join"),
+    (DropDatasetStatement, "drop_dataset"),
+)
+
+
+def _statement_kind(statement) -> str:
+    for cls, kind in _STATEMENT_KINDS:
+        if isinstance(statement, cls):
+            return kind
+    return "other"
+
+
+def _error_status(exc: Exception) -> str:
+    """History/registry status class of a failed statement."""
+    if isinstance(exc, QueryTimeoutError):
+        return "timeout"
+    if isinstance(exc, (TaskFailedError, FudjCallbackError)):
+        return "failed"
+    return "error"
 
 
 def _to_mode(mode) -> ExecutionMode:

@@ -15,6 +15,7 @@ from repro.engine.faults import FaultPlan
 from repro.engine.metrics import QueryMetrics
 from repro.engine.costs import CostModel
 from repro.engine.tracing import BucketSkew, Span, Trace, Tracer
+from repro.engine.telemetry import MetricsRegistry, QueryHistory, Telemetry
 
 __all__ = [
     "Record",
@@ -28,4 +29,7 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "MetricsRegistry",
+    "QueryHistory",
+    "Telemetry",
 ]

@@ -28,6 +28,7 @@ class Cluster:
         self.cores = cores
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self._datasets = {}
+        self._virtual = {}
 
     def __repr__(self) -> str:
         return (
@@ -47,11 +48,14 @@ class Cluster:
         return dataset
 
     def dataset(self, name: str) -> PartitionedDataset:
-        """Look up a dataset by name."""
-        try:
-            return self._datasets[name]
-        except KeyError:
-            raise ExecutionError(f"no such dataset: {name}") from None
+        """Look up a dataset by name (materializing virtual tables)."""
+        stored = self._datasets.get(name)
+        if stored is not None:
+            return stored
+        virtual = self._virtual.get(name)
+        if virtual is not None:
+            return self._materialize_virtual(name, *virtual)
+        raise ExecutionError(f"no such dataset: {name}")
 
     def drop_dataset(self, name: str) -> None:
         """Remove a dataset (raises when absent)."""
@@ -60,7 +64,30 @@ class Cluster:
         del self._datasets[name]
 
     def has_dataset(self, name: str) -> bool:
-        return name in self._datasets
+        return name in self._datasets or name in self._virtual
 
     def dataset_names(self) -> list:
         return sorted(self._datasets)
+
+    # -- virtual datasets -------------------------------------------------------
+
+    def register_virtual_dataset(self, name: str, schema: Schema,
+                                 provider) -> None:
+        """Register a provider-backed relation (the ``sys.*`` tables).
+
+        ``provider()`` returns the current rows as plain mappings; a
+        fresh snapshot is materialized on every :meth:`dataset` lookup,
+        so scans always see the current engine state.
+        """
+        if name in self._datasets or name in self._virtual:
+            raise ExecutionError(f"dataset already exists: {name}")
+        self._virtual[name] = (schema, provider)
+
+    def _materialize_virtual(self, name: str, schema: Schema,
+                             provider) -> PartitionedDataset:
+        # No primary key: rows round-robin across partitions, which is
+        # deterministic (hash-partitioning on string keys is not, under
+        # per-process hash randomization).
+        dataset = PartitionedDataset(name, schema, self.num_partitions)
+        dataset.bulk_load(provider())
+        return dataset

@@ -38,6 +38,18 @@ class QueryResult:
         """All values of one output column."""
         return [row[name] for row in self.rows]
 
+    def to_dict(self, cores: int = None) -> dict:
+        """A JSON-ready summary: row count, schema, and the stable
+        metrics dict (:meth:`QueryMetrics.to_dict
+        <repro.engine.metrics.QueryMetrics.to_dict>`) — the same field
+        list telemetry records, so callers never pluck metrics fields
+        ad hoc."""
+        return {
+            "rows": len(self.rows),
+            "schema": list(self.schema),
+            "metrics": self.metrics.to_dict(cores),
+        }
+
 
 def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  measure_bytes: bool = True, fault_plan: FaultPlan = None,

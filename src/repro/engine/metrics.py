@@ -205,9 +205,17 @@ class QueryMetrics:
             f"recovery {self.recovery_seconds * 1000:.2f} ms"
         )
 
-    def summary(self) -> dict:
-        """A flat dict of headline numbers, handy for bench tables."""
-        return {
+    def to_dict(self, cores: int = None) -> dict:
+        """The stable flat-dict view of the metrics.
+
+        This is the one canonical field list — telemetry
+        (:mod:`repro.engine.telemetry`), :meth:`QueryResult.to_dict
+        <repro.engine.executor.QueryResult.to_dict>`, and the shell's
+        timing line all consume it, so adding a counter here surfaces
+        it everywhere at once.  With ``cores`` given, a
+        ``simulated_seconds`` entry is included.
+        """
+        out = {
             "wall_seconds": self.wall_seconds,
             "cpu_units": self.total_cpu_units(),
             "network_bytes": self.total_network_bytes(),
@@ -222,6 +230,13 @@ class QueryMetrics:
             "recovery_seconds": self.recovery_seconds,
             "checkpoint_bytes": self.checkpoint_bytes,
         }
+        if cores is not None:
+            out["simulated_seconds"] = self.simulated_seconds(cores)
+        return out
+
+    def summary(self) -> dict:
+        """Alias of :meth:`to_dict`, kept for bench-table call sites."""
+        return self.to_dict()
 
     def __repr__(self) -> str:
         return (

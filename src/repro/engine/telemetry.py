@@ -1,0 +1,722 @@
+"""System-wide telemetry: metrics registry, query history, ``sys.*`` tables.
+
+Three tiers on top of the per-query observability layer
+(:mod:`repro.engine.metrics` and :mod:`repro.engine.tracing`):
+
+1. A process-wide **metrics registry** of labeled counters, gauges, and
+   fixed-bucket histograms.  Every ``Database.execute`` folds its
+   :class:`~repro.engine.metrics.QueryMetrics` (and, when tracing ran,
+   the per-callback aggregates of the trace) into the registry.  The
+   registry renders as Prometheus text exposition or canonical JSON;
+   both are **deterministic** — they contain only charged units,
+   simulated seconds, and counters, never wall clocks — so two
+   identical sessions produce byte-identical snapshots (tested in
+   ``tests/test_telemetry.py``).
+
+2. A bounded **query history log**: one structured record per executed
+   statement (sql, status, per-phase units, retry/skew summaries, error
+   class).  Retention is capped — the oldest record is evicted first —
+   so history memory is bounded no matter how long a session runs.
+
+3. **Queryable introspection**: the history and the registry are
+   registered as *virtual tables* (``sys.queries``, ``sys.stages``,
+   ``sys.callbacks``, ``sys.metrics``) in the catalog and the cluster,
+   so plain SQL reaches them through the normal binder → planner →
+   scan-operator path::
+
+       SELECT status, COUNT(1) AS n FROM sys.queries GROUP BY status;
+
+Telemetry never charges the simulated cost model: recording a query,
+taking a snapshot, or resetting the registry costs 0 work units (the
+acceptance test pins this down).  Scanning a ``sys.*`` table *is* a
+query and pays the ordinary scan cost like any other dataset.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.record import Schema
+from repro.errors import ReproError
+
+#: Histogram bucket upper bounds for per-query simulated seconds.
+SIM_SECONDS_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+#: Histogram bucket upper bounds for per-query result row counts.
+ROW_COUNT_BUCKETS = (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0)
+
+#: Default bound on retained history records (oldest evicted first).
+DEFAULT_HISTORY_LIMIT = 256
+
+
+class TelemetryError(ReproError):
+    """Misuse of the metrics registry (name/kind/label conflicts)."""
+
+
+def _format_number(value) -> str:
+    """Canonical text form of a sample value (Prometheus lines)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_key(labelnames, labels: dict) -> tuple:
+    if set(labels) != set(labelnames):
+        raise TelemetryError(
+            f"labels {sorted(labels)} do not match declared label names "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames, key: tuple, extra=()) -> str:
+    pairs = list(zip(labelnames, key)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labelnames", "_values")
+
+    def __init__(self, name: str, help_text: str, labelnames=()) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._values = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease")
+        key = _label_key(self.labelnames, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(self.labelnames, labels), 0.0)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def samples(self):
+        """Sorted ``(label_key, value)`` pairs — the deterministic view."""
+        return sorted(self._values.items())
+
+
+class Gauge(Counter):
+    """A value that can go up or down (set, not accumulated)."""
+
+    kind = "gauge"
+
+    __slots__ = ()
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(self.labelnames, labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative, Prometheus-style)."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labelnames", "buckets", "_series")
+
+    def __init__(self, name: str, help_text: str, buckets,
+                 labelnames=()) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise TelemetryError(
+                f"histogram {name} needs strictly increasing buckets"
+            )
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self.buckets = bounds
+        self._series = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                      "count": 0}
+            self._series[key] = series
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series["counts"][i] += 1
+        series["sum"] += float(value)
+        series["count"] += 1
+
+    def reset(self) -> None:
+        self._series.clear()
+
+    def samples(self):
+        return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """A named collection of metric families with a deterministic
+    snapshot API.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    them twice with the same name returns the same family (a name reused
+    with a different kind raises :class:`TelemetryError`).
+    """
+
+    def __init__(self) -> None:
+        self._families = {}
+
+    def _register(self, family):
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if type(existing) is not type(family):
+                raise TelemetryError(
+                    f"metric {family.name} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "", labelnames=()) -> Counter:
+        return self._register(Counter(name, help_text, labelnames))
+
+    def gauge(self, name: str, help_text: str = "", labelnames=()) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames))
+
+    def histogram(self, name: str, help_text: str = "", buckets=(),
+                  labelnames=()) -> Histogram:
+        return self._register(Histogram(name, help_text, buckets, labelnames))
+
+    def families(self):
+        """All metric families, sorted by name (deterministic)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Zero every family (the families themselves stay registered)."""
+        for family in self._families.values():
+            family.reset()
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A canonical, JSON-ready view of every family.
+
+        Contains only deterministic quantities; samples sort by label
+        value, families by name, so the same sequence of recordings
+        always produces the same object.
+        """
+        out = []
+        for family in self.families():
+            entry = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.labelnames),
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(zip(family.labelnames, key)),
+                        "counts": list(series["counts"]),
+                        "sum": series["sum"],
+                        "count": series["count"],
+                    }
+                    for key, series in family.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(zip(family.labelnames, key)),
+                     "value": value}
+                    for key, value in family.samples()
+                ]
+            out.append(entry)
+        return {"format": "fudj-metrics", "version": 1, "families": out}
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — byte-stable."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if family.kind == "histogram":
+                for key, series in family.samples():
+                    cumulative = 0
+                    for bound, count in zip(family.buckets,
+                                            series["counts"]):
+                        cumulative = count
+                        labels = _render_labels(
+                            family.labelnames, key,
+                            extra=[("le", _format_number(bound))],
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{labels} {cumulative}"
+                        )
+                    labels = _render_labels(family.labelnames, key,
+                                            extra=[("le", "+Inf")])
+                    lines.append(
+                        f"{family.name}_bucket{labels} {series['count']}"
+                    )
+                    plain = _render_labels(family.labelnames, key)
+                    lines.append(f"{family.name}_sum{plain} "
+                                 f"{_format_number(series['sum'])}")
+                    lines.append(f"{family.name}_count{plain} "
+                                 f"{series['count']}")
+            else:
+                for key, value in family.samples():
+                    labels = _render_labels(family.labelnames, key)
+                    lines.append(
+                        f"{family.name}{labels} {_format_number(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+class QueryHistory:
+    """A bounded, append-only log of executed statements.
+
+    Retention is ``limit`` records; appending past it evicts the oldest
+    record, so memory stays capped no matter how long the session runs.
+    """
+
+    def __init__(self, limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+        if limit < 1:
+            raise TelemetryError(f"history limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries = []
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def evicted(self) -> int:
+        return self.total_recorded - len(self._entries)
+
+    def append(self, entry: dict) -> None:
+        self._entries.append(entry)
+        self.total_recorded += 1
+        if len(self._entries) > self.limit:
+            del self._entries[: len(self._entries) - self.limit]
+
+    def entries(self) -> list:
+        """Records oldest to newest (a copy, safe to hold)."""
+        return list(self._entries)
+
+    def set_limit(self, limit: int) -> None:
+        """Change retention; trims immediately when shrinking."""
+        if limit < 1:
+            raise TelemetryError(f"history limit must be >= 1, got {limit}")
+        self.limit = limit
+        if len(self._entries) > limit:
+            del self._entries[: len(self._entries) - limit]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.total_recorded = 0
+
+
+# -- stage/phase classification ------------------------------------------------
+
+
+def stage_op(stage_name: str) -> str:
+    """The stable operator label of a metrics stage name.
+
+    ``scan#1`` → ``scan``; ``fudj-join#5/assign-left`` → ``assign-left``.
+    Instance ids are stripped so the label is identical across sessions
+    (operator ids come from a process-global counter).
+    """
+    if "/" in stage_name:
+        return stage_name.rsplit("/", 1)[1]
+    return stage_name.split("#", 1)[0]
+
+
+#: FUDJ phase of a stage op (paper Fig 8/9 grouping).
+def phase_of(op: str) -> str:
+    if op.startswith("summarize") or op.startswith("pplan"):
+        return "summarize"
+    if op.startswith("assign"):
+        return "partition"
+    if op.startswith(("xleft", "xright", "combine", "dedup", "spread",
+                      "broadcast", "route")):
+        return "combine"
+    return "other"
+
+
+# -- sys.* table schemas -------------------------------------------------------
+
+SYS_QUERIES_FIELDS = (
+    ("id", "int"), ("sql", "string"), ("kind", "string"),
+    ("mode", "string"), ("status", "string"), ("error_type", "string"),
+    ("error", "string"), ("rows", "int"), ("wall_seconds", "double"),
+    ("sim_seconds", "double"), ("cpu_units", "double"),
+    ("net_bytes", "double"), ("comparisons", "int"),
+    ("conversions", "int"), ("stage_count", "int"),
+    ("tasks_retried", "int"), ("exchange_retries", "int"),
+    ("stragglers", "int"), ("quarantined", "int"),
+    ("recovery_seconds", "double"), ("checkpoint_bytes", "double"),
+    ("summarize_units", "double"), ("partition_units", "double"),
+    ("combine_units", "double"), ("other_units", "double"),
+    ("max_bucket_imbalance", "double"), ("max_replication", "double"),
+    ("traced", "boolean"),
+)
+
+SYS_STAGES_FIELDS = (
+    ("query_id", "int"), ("seq", "int"), ("stage", "string"),
+    ("op", "string"), ("phase", "string"), ("cpu_units", "double"),
+    ("net_bytes", "double"), ("records_in", "int"),
+    ("records_out", "int"), ("workers", "int"), ("imbalance", "double"),
+)
+
+SYS_CALLBACKS_FIELDS = (
+    ("query_id", "int"), ("callback", "string"), ("parent", "string"),
+    ("calls", "int"), ("errors", "int"), ("cpu_units", "double"),
+)
+
+SYS_METRICS_FIELDS = (
+    ("metric", "string"), ("kind", "string"), ("labels", "string"),
+    ("value", "double"),
+)
+
+#: Every registered ``sys.*`` table: name → field schema.  The docs
+#: linter checks each name here is documented in ``docs/``.
+SYS_TABLES = {
+    "sys.queries": SYS_QUERIES_FIELDS,
+    "sys.stages": SYS_STAGES_FIELDS,
+    "sys.callbacks": SYS_CALLBACKS_FIELDS,
+    "sys.metrics": SYS_METRICS_FIELDS,
+}
+
+
+class Telemetry:
+    """The per-database telemetry hub: registry + history + sys rows.
+
+    One instance lives on each :class:`~repro.database.Database`; its
+    :meth:`record_statement` is called by ``Database.execute`` for every
+    statement — success or failure — after execution finishes.
+    """
+
+    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+        self.registry = MetricsRegistry()
+        self.history = QueryHistory(history_limit)
+        r = self.registry
+        self._statements = r.counter(
+            "fudj_statements_total",
+            "Statements executed, by statement kind.", ("kind",))
+        self._queries = r.counter(
+            "fudj_queries_total",
+            "SELECT/EXPLAIN executions, by final status.", ("status",))
+        self._rows = r.counter(
+            "fudj_rows_returned_total", "Result rows returned to callers.")
+        self._cpu_units = r.counter(
+            "fudj_cpu_units_total", "Work units charged to the cost model.")
+        self._net_bytes = r.counter(
+            "fudj_network_bytes_total", "Bytes moved by exchanges.")
+        self._comparisons = r.counter(
+            "fudj_comparisons_total", "Join predicate evaluations.")
+        self._conversions = r.counter(
+            "fudj_translation_conversions_total",
+            "FUDJ boundary translations.")
+        self._tasks_retried = r.counter(
+            "fudj_task_retries_total", "Compute task attempts replayed.")
+        self._exchange_retries = r.counter(
+            "fudj_exchange_retries_total", "Shuffle sends re-transmitted.")
+        self._stragglers = r.counter(
+            "fudj_stragglers_total", "Tasks cut short by speculation.")
+        self._quarantined = r.counter(
+            "fudj_records_quarantined_total",
+            "Poison records dropped by degraded-mode policies.")
+        self._recovery_seconds = r.counter(
+            "fudj_recovery_seconds_total",
+            "Simulated seconds of fault-recovery overhead.")
+        self._checkpoint_bytes = r.counter(
+            "fudj_checkpoint_bytes_total",
+            "Bytes spooled to the checkpoint store.")
+        self._stage_units = r.counter(
+            "fudj_stage_units_total",
+            "Work units charged, by stage operator label.", ("op",))
+        self._phase_units = r.counter(
+            "fudj_phase_units_total",
+            "Work units charged, by FUDJ phase.", ("phase",))
+        self._callback_calls = r.counter(
+            "fudj_callback_calls_total",
+            "User callback invocations (traced queries only).",
+            ("callback",))
+        self._callback_errors = r.counter(
+            "fudj_callback_errors_total",
+            "Failed user callback invocations (traced queries only).",
+            ("callback",))
+        self._callback_units = r.counter(
+            "fudj_callback_units_total",
+            "Work units attributed to user callbacks (traced queries "
+            "only).", ("callback",))
+        self._sim_seconds = r.histogram(
+            "fudj_query_sim_seconds",
+            "Per-query simulated seconds on the session's core count.",
+            SIM_SECONDS_BUCKETS)
+        self._row_hist = r.histogram(
+            "fudj_query_rows", "Per-query result row counts.",
+            ROW_COUNT_BUCKETS)
+        self._history_entries = r.gauge(
+            "fudj_history_entries", "Query history records retained.")
+        self._history_evicted = r.gauge(
+            "fudj_history_evicted", "Query history records evicted.")
+
+    # -- recording ------------------------------------------------------------
+
+    def record_statement(self, sql: str, kind: str, mode: str, status: str,
+                         metrics=None, rows: int = 0, error=None,
+                         trace=None, cores: int = 1,
+                         wall_seconds: float = 0.0) -> dict:
+        """Fold one finished ``execute()`` into history + registry.
+
+        ``metrics`` is the query's :class:`QueryMetrics` (None for
+        statements that never reached execution, e.g. parse errors);
+        ``trace`` the optional :class:`~repro.engine.tracing.Trace`.
+        Returns the appended history entry.
+        """
+        entry = self._build_entry(sql, kind, mode, status, metrics, rows,
+                                  error, trace, cores, wall_seconds)
+        self.history.append(entry)
+        self._statements.inc(kind=kind)
+        executed = metrics is not None and kind in ("select", "explain")
+        if executed:
+            self._queries.inc(status=status)
+            self._rows.inc(rows)
+            self._sim_seconds.observe(entry["sim_seconds"])
+            self._row_hist.observe(rows)
+        if metrics is not None:
+            m = metrics.to_dict()
+            self._cpu_units.inc(m["cpu_units"])
+            self._net_bytes.inc(m["network_bytes"])
+            self._comparisons.inc(m["comparisons"])
+            self._conversions.inc(m["translation_conversions"])
+            self._tasks_retried.inc(m["tasks_retried"])
+            self._exchange_retries.inc(m["exchange_retries"])
+            self._stragglers.inc(m["stragglers_detected"])
+            self._quarantined.inc(m["records_quarantined"])
+            self._recovery_seconds.inc(m["recovery_seconds"])
+            self._checkpoint_bytes.inc(m["checkpoint_bytes"])
+            for stage_row in entry["stages"]:
+                self._stage_units.inc(stage_row["cpu_units"],
+                                      op=stage_row["op"])
+                self._phase_units.inc(stage_row["cpu_units"],
+                                      phase=stage_row["phase"])
+        for cb in entry["callbacks"]:
+            self._callback_calls.inc(cb["calls"], callback=cb["callback"])
+            if cb["errors"]:
+                self._callback_errors.inc(cb["errors"],
+                                          callback=cb["callback"])
+            self._callback_units.inc(cb["cpu_units"],
+                                     callback=cb["callback"])
+        self._history_entries.set(len(self.history))
+        self._history_evicted.set(self.history.evicted)
+        return entry
+
+    def _build_entry(self, sql, kind, mode, status, metrics, rows, error,
+                     trace, cores, wall_seconds) -> dict:
+        entry = {
+            "id": self.history.total_recorded + 1,
+            "sql": sql.strip(),
+            "kind": kind,
+            "mode": mode,
+            "status": status,
+            "error_type": type(error).__name__ if error is not None else "",
+            "error": str(error) if error is not None else "",
+            "rows": int(rows),
+            "wall_seconds": float(wall_seconds),
+            "sim_seconds": 0.0,
+            "cpu_units": 0.0,
+            "net_bytes": 0.0,
+            "comparisons": 0,
+            "conversions": 0,
+            "stage_count": 0,
+            "tasks_retried": 0,
+            "exchange_retries": 0,
+            "stragglers": 0,
+            "quarantined": 0,
+            "recovery_seconds": 0.0,
+            "checkpoint_bytes": 0.0,
+            "summarize_units": 0.0,
+            "partition_units": 0.0,
+            "combine_units": 0.0,
+            "other_units": 0.0,
+            "max_bucket_imbalance": 0.0,
+            "max_replication": 0.0,
+            "traced": trace is not None,
+            "stages": [],
+            "callbacks": [],
+        }
+        if metrics is not None:
+            m = metrics.to_dict()
+            entry["sim_seconds"] = metrics.simulated_seconds(max(1, cores))
+            entry["cpu_units"] = m["cpu_units"]
+            entry["net_bytes"] = m["network_bytes"]
+            entry["comparisons"] = m["comparisons"]
+            entry["conversions"] = m["translation_conversions"]
+            entry["stage_count"] = m["stages"]
+            entry["tasks_retried"] = m["tasks_retried"]
+            entry["exchange_retries"] = m["exchange_retries"]
+            entry["stragglers"] = m["stragglers_detected"]
+            entry["quarantined"] = m["records_quarantined"]
+            entry["recovery_seconds"] = m["recovery_seconds"]
+            entry["checkpoint_bytes"] = m["checkpoint_bytes"]
+            for seq, stage in enumerate(metrics.stages):
+                op = stage_op(stage.name)
+                units = stage.total_units()
+                workers = stage.worker_units
+                mean = (sum(workers.values()) / len(workers)
+                        if workers else 0.0)
+                imbalance = (max(workers.values()) / mean
+                             if len(workers) > 1 and mean > 0 else 1.0)
+                phase = phase_of(op)
+                entry["stages"].append({
+                    "query_id": entry["id"],
+                    "seq": seq,
+                    "stage": stage.name,
+                    "op": op,
+                    "phase": phase,
+                    "cpu_units": units,
+                    "net_bytes": stage.network_bytes + stage.fabric_bytes,
+                    "records_in": stage.records_in,
+                    "records_out": stage.records_out,
+                    "workers": len(workers),
+                    "imbalance": imbalance,
+                })
+                entry[f"{phase}_units"] += units
+        if trace is not None:
+            for cb in trace.callback_rows():
+                entry["callbacks"].append({
+                    "query_id": entry["id"],
+                    "callback": cb["callback"],
+                    "parent": cb["parent"],
+                    "calls": cb["calls"],
+                    "errors": cb["errors"],
+                    "cpu_units": cb["units"],
+                })
+            for skew in trace.skew.values():
+                entry["max_bucket_imbalance"] = max(
+                    entry["max_bucket_imbalance"], skew.imbalance())
+                entry["max_replication"] = max(
+                    entry["max_replication"], skew.replication_factor())
+        return entry
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self, fmt: str = "json") -> str:
+        """The registry in ``"json"`` (canonical) or ``"prometheus"``
+        (text exposition) form."""
+        if fmt == "json":
+            return self.registry.to_json()
+        if fmt == "prometheus":
+            return self.registry.to_prometheus()
+        raise TelemetryError(
+            f"unknown snapshot format {fmt!r}; use json or prometheus"
+        )
+
+    def reset(self) -> None:
+        """Zero the registry and drop the history."""
+        self.registry.reset()
+        self.history.clear()
+
+    # -- sys.* row providers --------------------------------------------------
+
+    def queries_rows(self) -> list:
+        keys = [name for name, _ in SYS_QUERIES_FIELDS]
+        return [{key: entry[key] for key in keys}
+                for entry in self.history.entries()]
+
+    def stages_rows(self) -> list:
+        rows = []
+        for entry in self.history.entries():
+            rows.extend(entry["stages"])
+        return rows
+
+    def callbacks_rows(self) -> list:
+        rows = []
+        for entry in self.history.entries():
+            rows.extend(entry["callbacks"])
+        return rows
+
+    def metrics_rows(self) -> list:
+        """The registry flattened to one row per sample (histograms
+        expand to ``_bucket`` / ``_sum`` / ``_count`` rows)."""
+        rows = []
+
+        def labels_text(labelnames, key, extra=()):
+            pairs = list(zip(labelnames, key)) + list(extra)
+            return ",".join(f"{n}={v}" for n, v in pairs)
+
+        for family in self.registry.families():
+            if family.kind == "histogram":
+                for key, series in family.samples():
+                    for bound, count in zip(family.buckets,
+                                            series["counts"]):
+                        rows.append({
+                            "metric": f"{family.name}_bucket",
+                            "kind": family.kind,
+                            "labels": labels_text(
+                                family.labelnames, key,
+                                [("le", _format_number(bound))]),
+                            "value": float(count),
+                        })
+                    rows.append({
+                        "metric": f"{family.name}_bucket",
+                        "kind": family.kind,
+                        "labels": labels_text(family.labelnames, key,
+                                              [("le", "+Inf")]),
+                        "value": float(series["count"]),
+                    })
+                    rows.append({
+                        "metric": f"{family.name}_sum", "kind": family.kind,
+                        "labels": labels_text(family.labelnames, key),
+                        "value": float(series["sum"]),
+                    })
+                    rows.append({
+                        "metric": f"{family.name}_count",
+                        "kind": family.kind,
+                        "labels": labels_text(family.labelnames, key),
+                        "value": float(series["count"]),
+                    })
+            else:
+                for key, value in family.samples():
+                    rows.append({
+                        "metric": family.name, "kind": family.kind,
+                        "labels": labels_text(family.labelnames, key),
+                        "value": float(value),
+                    })
+        return rows
+
+
+def register_sys_tables(db) -> None:
+    """Register every ``sys.*`` virtual table on a database's catalog
+    and cluster, backed by its :class:`Telemetry` instance."""
+    telemetry = db.telemetry
+    providers = {
+        "sys.queries": telemetry.queries_rows,
+        "sys.stages": telemetry.stages_rows,
+        "sys.callbacks": telemetry.callbacks_rows,
+        "sys.metrics": telemetry.metrics_rows,
+    }
+    for name, fields in SYS_TABLES.items():
+        db.catalog.register_virtual_table(name, fields)
+        db.cluster.register_virtual_dataset(
+            name, Schema(field_name for field_name, _ in fields),
+            providers[name],
+        )

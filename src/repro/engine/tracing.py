@@ -186,6 +186,12 @@ class BucketSkew:
     def num_buckets(self) -> int:
         return len(self.histogram)
 
+    @property
+    def is_empty(self) -> bool:
+        """True for a zero-bucket stage (empty join input) — every ratio
+        below is degenerate, so reports render it as a plain note."""
+        return not self.histogram or not self.records_in
+
     def replication_factor(self) -> float:
         """Assignments per input record (1.0 = single-assign, no skew
         from duplication; >1 means multi-assign replication)."""
@@ -240,6 +246,33 @@ class Trace:
     def total_units(self) -> float:
         return self.root.total_units()
 
+    def callback_rows(self) -> list:
+        """Aggregated per-callback totals, one row per distinct
+        ``(callback, parent-span)`` pair, sorted for determinism.
+
+        This is what flows into the telemetry registry and the
+        ``sys.callbacks`` table at query end.
+        """
+        totals = {}
+
+        def visit(span: Span) -> None:
+            for child in span.children:
+                if child.kind == "callback":
+                    row = totals.setdefault(
+                        (child.name, span.name),
+                        {"calls": 0, "errors": 0, "units": 0.0},
+                    )
+                    row["calls"] += child.calls
+                    row["errors"] += child.errors
+                    row["units"] += child.units
+                visit(child)
+
+        visit(self.root)
+        return [
+            {"callback": callback, "parent": parent, **row}
+            for (callback, parent), row in sorted(totals.items())
+        ]
+
     def to_dict(self, wall: bool = False) -> dict:
         return {
             "spans": self.root.to_dict(wall=wall),
@@ -258,6 +291,10 @@ class Trace:
         lines = []
         for name in sorted(self.skew):
             skew = self.skew[name]
+            if skew.is_empty:
+                lines.append(f"skew {name}: empty input "
+                             f"({skew.records_in} records, no buckets)")
+                continue
             lines.append(
                 f"skew {name}: {skew.records_in} records -> "
                 f"{skew.assignments} assignments over {skew.num_buckets} "

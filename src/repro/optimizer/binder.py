@@ -23,6 +23,7 @@ from repro.query.ast import (
     Literal,
     Not,
     Or,
+    Star,
 )
 from repro.query.logical import (
     AggregateCall,
@@ -91,6 +92,9 @@ def bind_select(stmt: SelectStatement, catalog, functions,
     select_items = []
     aggregates = []
     for position, item in enumerate(stmt.items):
+        if isinstance(item.expr, Star):
+            select_items.extend(_expand_star(stmt.tables, alias_fields))
+            continue
         name = item.output_name(position)
         agg = _as_aggregate(item.expr, name, binder)
         if agg is not None:
@@ -148,6 +152,27 @@ def bind_select(stmt: SelectStatement, catalog, functions,
         aliases=aliases,
         alias_fields=alias_fields,
     )
+
+
+def _expand_star(tables, alias_fields) -> list:
+    """``SELECT *`` → one ``(output_name, Column)`` per field of every
+    FROM table, in declaration order.
+
+    Output names are the bare field names; a field appearing in more
+    than one table keeps its qualified ``alias.field`` name so the
+    output schema stays duplicate-free.
+    """
+    seen = {}
+    for table in tables:
+        for field_name in alias_fields[table.alias]:
+            seen[field_name] = seen.get(field_name, 0) + 1
+    items = []
+    for table in tables:
+        for field_name in alias_fields[table.alias]:
+            qualified = f"{table.alias}.{field_name}"
+            name = field_name if seen[field_name] == 1 else qualified
+            items.append((name, Column(qualified)))
+    return items
 
 
 def _default_name(expr: Expr, position: int) -> str:
@@ -289,7 +314,9 @@ class _ExprBinder:
 
     def _resolve_column(self, name: str) -> str:
         if "." in name:
-            alias, field_name = name.split(".", 1)
+            # Split at the *last* dot: aliases may themselves be dotted
+            # (an unaliased ``FROM sys.queries``), field names never are.
+            alias, field_name = name.rsplit(".", 1)
             if alias not in self.aliases:
                 raise PlanError(f"unknown alias: {alias}")
             if field_name not in self.alias_fields[alias]:

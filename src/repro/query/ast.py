@@ -54,6 +54,16 @@ class Column(Expr):
 
 
 @dataclass(frozen=True)
+class Star(Expr):
+    """``SELECT *`` — a placeholder the binder expands into one Column
+    per field of every FROM table.  It never survives binding, so it has
+    no evaluation semantics."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
 class Literal(Expr):
     """A constant value."""
 

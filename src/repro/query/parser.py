@@ -28,6 +28,7 @@ from repro.query.ast import (
     Literal,
     Not,
     Or,
+    Star,
 )
 from repro.query.logical import (
     CreateDatasetStatement,
@@ -282,6 +283,9 @@ class Parser:
                                order_by, limit, offset, distinct)
 
     def _select_item(self) -> SelectItem:
+        if self._accept("op", "*"):
+            # SELECT *: expanded by the binder to every FROM-table field.
+            return SelectItem(Star(), None)
         expr = self._expr()
         alias = None
         if self._accept("keyword", "as"):
@@ -292,6 +296,9 @@ class Parser:
 
     def _table_ref(self) -> TableRef:
         dataset = self._expect("ident").text
+        if self._accept("punct", "."):
+            # Namespaced tables (the sys.* introspection surface).
+            dataset = f"{dataset}.{self._expect('ident').text}"
         alias = dataset
         if self._accept("keyword", "as"):
             alias = self._expect("ident").text

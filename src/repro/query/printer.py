@@ -81,6 +81,24 @@ def _render_span(span, indent: int, lines: list) -> None:
         _render_span(child, indent + 2, lines)
 
 
+def render_timing_line(result, cores: int) -> str:
+    """The shell's per-query timing line, built from the stable
+    :meth:`QueryMetrics.to_dict` field list (no ad-hoc plucking)."""
+    metrics = result.metrics.to_dict(cores)
+    line = (
+        f"[{len(result.rows)} row(s), "
+        f"wall {metrics['wall_seconds'] * 1000:.1f} ms, "
+        f"simulated {metrics['simulated_seconds'] * 1000:.2f} ms "
+        f"on {cores} cores"
+    )
+    retries = metrics["tasks_retried"] + metrics["exchange_retries"]
+    if retries:
+        line += f", {retries} retries"
+    if metrics["records_quarantined"]:
+        line += f", {metrics['records_quarantined']} quarantined"
+    return line + "]"
+
+
 def _literal(value) -> str:
     if value is None:
         return "null"

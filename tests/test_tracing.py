@@ -176,6 +176,34 @@ class TestSkewDiagnostics:
         assert "replication" in report
         assert "heaviest buckets" in report
 
+    def test_empty_input_skew_is_degenerate_but_finite(self):
+        skew = BucketSkew("s", 0, {})
+        assert skew.is_empty
+        assert skew.assignments == 0
+        assert skew.replication_factor() == 0.0
+        assert skew.imbalance() == 0.0
+        assert skew.top_buckets() == []
+        # Records in but nothing assigned is empty too (all filtered).
+        assert BucketSkew("s", 0, {1: 3}).is_empty
+
+    def test_skew_report_on_empty_join_input(self):
+        """A zero-bucket join (empty inputs) must render a clean note,
+        not a division-by-zero or a nonsense 0.00x ratio line."""
+        cluster = Cluster(num_partitions=3)
+        cluster.create_dataset("L", Schema(["id", "k"]), "id")
+        cluster.create_dataset("R", Schema(["id", "k"]), "id")
+        op = FudjJoin(
+            Scan("L", "l"), Scan("R", "r"), BandJoin(1.0, 4),
+            lambda r: unbox(r["l.k"]), lambda r: unbox(r["r.k"]),
+        )
+        result = execute_plan(op, cluster, trace=True)
+        assert result.rows == []
+        report = result.trace.skew_report()
+        assert "empty input" in report
+        assert "replication" not in report
+        for skew in result.trace.skew.values():
+            assert skew.is_empty
+
 
 class TestWallClocks:
     def test_children_never_exceed_parent(self):

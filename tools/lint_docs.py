@@ -12,6 +12,9 @@ Three checks over ``README.md`` and ``docs/*.md``:
 3. **Database kwargs are documented.** Every keyword of the public
    ``Database(...)`` constructor (via ``inspect.signature``) is
    mentioned somewhere in the docs.
+4. **sys tables are documented.** Every virtual table registered in
+   ``repro.engine.telemetry.SYS_TABLES`` is mentioned somewhere in the
+   docs.
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -69,6 +72,12 @@ def database_kwargs() -> set:
     return {name for name in params if name != "self"}
 
 
+def sys_tables() -> set:
+    from repro.engine.telemetry import SYS_TABLES
+
+    return set(SYS_TABLES)
+
+
 def check_mentions(files: list, needles: set, what: str) -> list:
     corpus = "\n".join(path.read_text() for path in files)
     problems = []
@@ -91,6 +100,7 @@ def main() -> int:
     problems += check_links(files)
     problems += check_mentions(files, shell_dot_commands(), "dot-command")
     problems += check_mentions(files, database_kwargs(), "Database kwarg")
+    problems += check_mentions(files, sys_tables(), "sys table")
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
@@ -98,7 +108,8 @@ def main() -> int:
         return 1
     print(f"lint-docs: {len(files)} files clean "
           f"({len(shell_dot_commands())} dot-commands, "
-          f"{len(database_kwargs())} Database kwargs checked)")
+          f"{len(database_kwargs())} Database kwargs, "
+          f"{len(sys_tables())} sys tables checked)")
     return 0
 
 
