@@ -1,8 +1,9 @@
 # Convenience targets for the FUDJ reproduction.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry bench bench-check lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources bench bench-check lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,7 +17,11 @@ test-faults:      ## fault-tolerance tests + ablation benchmark
 
 test-telemetry:   ## metrics registry, query history, sys.* tables
 	$(PYTHON) -m pytest tests/test_telemetry.py -q
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_observability.py --metrics-out /tmp/fudj-metrics.json
+	$(PYTHON) benchmarks/bench_observability.py --metrics-out /tmp/fudj-metrics.json
+
+test-resources:   ## memory budgets, spill, admission, circuit breakers
+	$(PYTHON) -m pytest tests/test_resources.py tests/test_resource_properties.py -q
+	$(PYTHON) -m pytest benchmarks/bench_resource_governance.py --benchmark-disable -q
 
 bench:            ## full run: timings + shape assertions + results/*.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -24,8 +29,8 @@ bench:            ## full run: timings + shape assertions + results/*.txt
 bench-check:      ## fast run: shape assertions only
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
 
-lint-docs:        ## links resolve; dot-commands + Database kwargs documented
-	PYTHONPATH=src $(PYTHON) tools/lint_docs.py
+lint-docs:        ## links resolve; dot-commands, Database kwargs, CLI flags documented
+	$(PYTHON) tools/lint_docs.py
 
 examples:
 	for f in examples/quickstart.py examples/custom_join.py \

@@ -12,6 +12,10 @@ Usage::
     python -m repro --metrics-out m.json   # write the telemetry snapshot
                                            # on exit (.prom/.txt for
                                            # Prometheus text exposition)
+    python -m repro --memory-budget 64kb   # per-worker memory budget:
+                                           # over-budget operator state
+                                           # spills to disk, admission
+                                           # control activates
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
@@ -29,6 +33,15 @@ session:
                                 snapshot (JSON, or Prometheus for
                                 .prom/.txt paths), or zero the counters
                                 and clear the query history
+    .budget <bytes>|off|show    per-worker memory budget (e.g. 64kb,
+                                2mb): over-budget operator state spills
+                                to temp files and is charged through
+                                the cost model; admission control
+                                activates while a budget is set
+    .breaker show|reset [name]  circuit-breaker state for FUDJ join
+                                libraries: open/closed per library,
+                                trip and rejection counts; reset closes
+                                one library (or all) again
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -227,6 +240,43 @@ class Shell:
                     self.write(f"metrics saved to {args[1]}")
             else:
                 self.write("usage: .metrics show|save <path>|reset")
+        elif name == ".budget":
+            from repro.engine.resources import format_bytes
+
+            if not args or args[0] == "show":
+                self.write(f"budget = {format_bytes(self.db.memory_budget)}")
+            else:
+                try:
+                    self.db.set_memory_budget(args[0])
+                except ReproError as exc:
+                    self.write(f"error: {exc}")
+                else:
+                    self.write(
+                        f"budget = {format_bytes(self.db.memory_budget)}"
+                    )
+        elif name == ".breaker":
+            breaker = self.db.breaker
+            if breaker is None:
+                self.write("breaker = off (pass breaker_threshold= to "
+                           "Database to enable)")
+            elif not args or args[0] == "show":
+                state = breaker.snapshot()
+                self.write(f"breaker threshold = {state['threshold']}")
+                self.write(
+                    "open libraries: "
+                    + (", ".join(state["open"]) if state["open"] else "none")
+                )
+                self.write(f"trips = {state['trips']}, "
+                           f"rejections = {state['rejections']}")
+                for join_name, count in sorted(state["failures"].items()):
+                    self.write(f"  {join_name}: {count} consecutive "
+                               "failures")
+            elif args[0] == "reset":
+                breaker.reset(args[1] if len(args) > 1 else None)
+                target = args[1] if len(args) > 1 else "all libraries"
+                self.write(f"breaker reset ({target})")
+            else:
+                self.write("usage: .breaker show|reset [name]")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -283,10 +333,13 @@ class Shell:
         previous = self.db
         self.db = builder()
         # Demo databases are freshly built; the session's fault-tolerance
-        # posture carries over.
+        # and resource-governance posture carries over.
         self.db.fault_plan = previous.fault_plan
         self.db.on_error = previous.on_error
         self.db.query_timeout = previous.query_timeout
+        if previous.memory_budget is not None:
+            self.db.set_memory_budget(previous.memory_budget)
+        self.db.breaker = previous.breaker
         queries = {
             "spatial": workloads.SPATIAL_SQL,
             "interval": workloads.INTERVAL_SQL,
@@ -311,6 +364,15 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     fault_plan = None
     metrics_out = None
+    memory_budget = None
+    if "--memory-budget" in argv:
+        at = argv.index("--memory-budget")
+        if at + 1 >= len(argv):
+            print("--memory-budget needs a byte amount (e.g. 64kb, 2mb, "
+                  "or off)", file=sys.stderr)
+            return 1
+        memory_budget = argv[at + 1]
+        del argv[at:at + 2]
     if "--metrics-out" in argv:
         at = argv.index("--metrics-out")
         if at + 1 >= len(argv):
@@ -333,10 +395,21 @@ def main(argv=None) -> int:
     trace = "--trace" in argv
     if trace:
         argv.remove("--trace")
-    shell = Shell(db=Database(fault_plan=fault_plan))
+    try:
+        shell = Shell(db=Database(fault_plan=fault_plan,
+                                  memory_budget=memory_budget))
+    except ReproError as exc:
+        print(f"bad --memory-budget value: {exc}", file=sys.stderr)
+        return 1
     shell.trace = trace
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.describe()}")
+    if shell.db.memory_budget is not None:
+        from repro.engine.resources import format_bytes
+
+        print("memory budget active: "
+              f"{format_bytes(shell.db.memory_budget)} per worker "
+              "(over-budget state spills to disk)")
     if trace:
         print("tracing active: span tree printed after each query")
     if argv and argv[0] == "--demo":

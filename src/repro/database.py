@@ -38,8 +38,17 @@ from repro.engine.context import ERROR_POLICIES
 from repro.engine.costs import CostModel
 from repro.engine.executor import QueryResult, execute_plan
 from repro.engine.faults import FaultPlan
+from repro.engine.resources import (
+    AdmissionController,
+    CircuitBreaker,
+    QueryResources,
+    format_bytes,
+    parse_bytes,
+)
 from repro.engine.telemetry import Telemetry, register_sys_tables
 from repro.errors import (
+    AdmissionError,
+    BreakerOpenError,
     FudjCallbackError,
     PlanError,
     QueryTimeoutError,
@@ -76,6 +85,25 @@ class Database:
     instance-wide fault-tolerance posture; ``trace`` turns structured
     span tracing on for every query.  Each can be overridden per query
     in :meth:`execute`.
+
+    Resource governance (all off by default):
+
+    * ``memory_budget`` — per-worker memory grant in bytes (or a string
+      like ``"256kb"``).  It rewrites the cost model's
+      ``worker_memory_bytes`` so the spill *pricing* and the real
+      spill *enforcement* share one number: operator state beyond the
+      grant is serialized to temp files and replayed.  Also turns on the
+      admission controller with a cluster-wide capacity of
+      ``memory_budget * num_partitions``.
+    * ``max_concurrent`` — cap on concurrently admitted queries (enables
+      the admission controller even without a byte budget).
+    * ``queue_limit`` / ``queue_timeout`` — bounded admission queue
+      depth and per-query wait budget in seconds; exceeding either sheds
+      the query with :class:`~repro.errors.AdmissionError`.
+    * ``breaker_threshold`` — consecutive FUDJ callback failures after
+      which a join library trips its circuit breaker and later queries
+      fail fast with :class:`~repro.errors.BreakerOpenError` until
+      ``db.breaker.reset()``.
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
@@ -83,8 +111,27 @@ class Database:
                  on_error: str = "fail",
                  query_timeout: float = None,
                  trace: bool = False,
-                 history_limit: int = 256) -> None:
-        self.cluster = Cluster(num_partitions, cores, cost_model)
+                 history_limit: int = 256,
+                 memory_budget=None,
+                 max_concurrent: int = None,
+                 queue_limit: int = 16,
+                 queue_timeout: float = None,
+                 breaker_threshold: int = None) -> None:
+        self._base_cost_model = cost_model or CostModel()
+        self.memory_budget = _check_budget(memory_budget)
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self.cluster = Cluster(num_partitions, cores,
+                               self._governed_cost_model())
+        self.admission = None
+        if self.memory_budget is not None or max_concurrent is not None:
+            self.admission = AdmissionController(
+                self._admission_capacity(), max_concurrent,
+                queue_limit, queue_timeout,
+            )
+        self.breaker = (CircuitBreaker(breaker_threshold)
+                        if breaker_threshold is not None else None)
         self.catalog = Catalog()
         self.functions = default_function_registry()
         self.joins = JoinRegistry()
@@ -168,15 +215,125 @@ class Database:
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
                                      summarize_sample)
-            return execute_plan(plan, self.cluster,
-                                measure_bytes=measure_bytes,
-                                fault_plan=faults, on_error=policy,
-                                timeout_seconds=timeout, trace=tracing)
+            return self._run_plan(plan, measure_bytes, faults, policy,
+                                  timeout, tracing)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement, _to_mode(mode),
                                          _to_dedup(dedup), measure_bytes,
                                          faults, policy, timeout)
         return self._execute_ddl(statement)
+
+    # -- resource governance --------------------------------------------------------
+
+    def _governed_cost_model(self) -> CostModel:
+        """The base cost model with the memory budget folded in, so spill
+        pricing and spill enforcement agree on one number."""
+        if self.memory_budget is None:
+            return self._base_cost_model
+        from dataclasses import replace
+
+        return replace(self._base_cost_model,
+                       worker_memory_bytes=float(self.memory_budget))
+
+    def _admission_capacity(self) -> float:
+        """Cluster-wide reservation capacity: every worker's grant."""
+        if self.memory_budget is None:
+            return float("inf")
+        return float(self.memory_budget) * self.cluster.num_partitions
+
+    def set_memory_budget(self, memory_budget) -> None:
+        """Change (or clear, with None/"off") the per-worker budget.
+
+        Rewrites the cluster's cost model and the admission capacity in
+        place; takes effect for the next query.
+        """
+        self.memory_budget = _check_budget(memory_budget)
+        self.cluster.cost_model = self._governed_cost_model()
+        if self.memory_budget is not None and self.admission is None:
+            self.admission = AdmissionController(
+                self._admission_capacity(), self.max_concurrent,
+                self.queue_limit, self.queue_timeout,
+            )
+        elif self.admission is not None:
+            self.admission.capacity_bytes = self._admission_capacity()
+
+    def _estimate_plan_bytes(self, plan) -> float:
+        """Memory-reservation estimate of a physical plan: the wire bytes
+        of every stored dataset it scans (catalog statistics).  Virtual
+        ``sys.*`` tables are skipped — their snapshots are tiny and
+        materializing one just to size it would be circular."""
+        total = 0.0
+        pending = [plan]
+        while pending:
+            node = pending.pop()
+            dataset_name = getattr(node, "dataset_name", None)
+            if dataset_name is not None:
+                stored = self.cluster._datasets.get(dataset_name)
+                if stored is not None:
+                    total += stored.total_bytes()
+            pending.extend(node.children())
+        return total
+
+    def _run_plan(self, plan, measure_bytes, faults, policy, timeout,
+                  tracing) -> QueryResult:
+        """Execute a physical plan under the governance posture: admission
+        first (reservation estimated from catalog stats), then the run
+        itself with a budget-enforcing memory accountant and the shared
+        circuit breaker."""
+        resources = QueryResources(
+            self.cluster.cost_model, enforce=self.memory_budget is not None
+        )
+        ticket = None
+        if self.admission is not None:
+            try:
+                ticket = self.admission.acquire(
+                    self._estimate_plan_bytes(plan)
+                )
+            except AdmissionError as exc:
+                self.telemetry.note_admission(exc.reason)
+                raise
+            self.telemetry.note_admission("admitted")
+            resources.queue_seconds = ticket.queue_seconds
+        try:
+            return execute_plan(plan, self.cluster,
+                                measure_bytes=measure_bytes,
+                                fault_plan=faults, on_error=policy,
+                                timeout_seconds=timeout, trace=tracing,
+                                resources=resources, breaker=self.breaker)
+        finally:
+            if ticket is not None:
+                self.admission.release(ticket)
+            self.telemetry.sync_breaker(self.breaker)
+
+    def _governance_lines(self, metrics) -> list:
+        """EXPLAIN ANALYZE lines describing the governance posture and
+        what it did for this query (only rendered when governance is
+        configured, so un-governed EXPLAIN output is unchanged)."""
+        lines = [
+            f"resources: budget {format_bytes(self.memory_budget)}/worker, "
+            f"peak {metrics.peak_reserved_bytes:.0f} reserved bytes, "
+            f"{metrics.spill_files} spill files "
+            f"({metrics.spill_bytes:.0f} bytes), "
+            f"queue wait {metrics.queue_seconds * 1000:.2f} ms"
+        ]
+        if self.admission is not None:
+            snap = self.admission.snapshot()
+            lines.append(
+                f"admission: capacity {format_bytes(snap['capacity_bytes'])}, "
+                f"{snap['running']} running / {snap['waiting']} waiting, "
+                f"{snap['admitted_total']} admitted, "
+                f"{snap['shed_total']} shed "
+                f"({snap['timeout_total']} timeouts)"
+            )
+        if self.breaker is not None:
+            snap = self.breaker.snapshot()
+            open_text = ",".join(snap["open"]) if snap["open"] else "none"
+            lines.append(
+                f"breaker: threshold {snap['threshold']}, "
+                f"open [{open_text}], {snap['trips']} trips, "
+                f"{snap['rejections']} rejections"
+            )
+        return lines
 
     def metrics_snapshot(self, fmt: str = "json") -> str:
         """The process-wide metrics registry, rendered deterministically.
@@ -222,10 +379,8 @@ class Database:
         lines = plan.explain().splitlines()
         metrics = QueryMetrics(self.cluster.cost_model)
         if statement.analyze:
-            executed = execute_plan(plan, self.cluster,
-                                    measure_bytes=measure_bytes,
-                                    fault_plan=fault_plan, on_error=on_error,
-                                    timeout_seconds=timeout, trace=True)
+            executed = self._run_plan(plan, measure_bytes, fault_plan,
+                                      on_error, timeout, True)
             metrics = executed.metrics
             lines.append("")
             lines.extend(metrics.profile(self.cluster.cores).splitlines())
@@ -242,6 +397,10 @@ class Database:
                     "fault tolerance: 0 task retries, 0 exchange retries, "
                     "0 stragglers, 0 quarantined, recovery 0.00 ms"
                 )
+            if (self.memory_budget is not None or self.admission is not None
+                    or self.breaker is not None):
+                lines.append("")
+                lines.extend(self._governance_lines(metrics))
         rows = [{"plan": line} for line in lines]
         return QueryResult(rows, ("plan",), metrics)
 
@@ -345,9 +504,29 @@ def _error_status(exc: Exception) -> str:
     """History/registry status class of a failed statement."""
     if isinstance(exc, QueryTimeoutError):
         return "timeout"
+    if isinstance(exc, AdmissionError):
+        return "shed"
+    if isinstance(exc, BreakerOpenError):
+        return "rejected"
     if isinstance(exc, (TaskFailedError, FudjCallbackError)):
         return "failed"
     return "error"
+
+
+def _check_budget(memory_budget):
+    """Parse and validate a memory budget spec (None/"off" = disabled)."""
+    try:
+        budget = parse_bytes(memory_budget)
+    except ValueError:
+        raise PlanError(
+            f"cannot parse memory budget {memory_budget!r}; "
+            "use bytes or a suffixed amount like '64mb'"
+        ) from None
+    if budget is not None and budget <= 0:
+        raise PlanError(
+            f"memory_budget must be positive, got {memory_budget!r}"
+        )
+    return budget
 
 
 def _to_mode(mode) -> ExecutionMode:

@@ -39,13 +39,22 @@ class ExecutionContext:
         trace: record a structured span trace of the execution (see
             :mod:`repro.engine.tracing`); the :attr:`tracer` is always
             present but inert unless this is True.
+        resources: the per-query memory accountant
+            (:class:`~repro.engine.resources.QueryResources`); one is
+            created in pure-pricing mode when not given, so operators can
+            always route their resident state through :meth:`admit`.
+        breaker: optional shared
+            :class:`~repro.engine.resources.CircuitBreaker` tracking
+            consecutive FUDJ callback failures across queries.
     """
 
     def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
                  measure_bytes: bool = True, fault_plan: FaultPlan = None,
                  on_error: str = "fail",
                  timeout_seconds: float = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 resources=None,
+                 breaker=None) -> None:
         if on_error not in ERROR_POLICIES:
             raise ExecutionError(
                 f"unknown error policy {on_error!r}; use fail/skip/quarantine"
@@ -57,6 +66,13 @@ class ExecutionContext:
         self.fault_plan = fault_plan
         self.on_error = on_error
         self.timeout_seconds = timeout_seconds
+        if resources is None:
+            from repro.engine.resources import QueryResources
+
+            resources = QueryResources(cluster.cost_model)
+        self.resources = resources
+        self.breaker = breaker
+        self._breaker_ok = set()
         self.tracer = Tracer(enabled=trace)
         self._deadline = (
             None if timeout_seconds is None
@@ -83,6 +99,18 @@ class ExecutionContext:
     def checkpointing(self) -> bool:
         """Whether exchanges spool their outputs to the checkpoint store."""
         return self.fault_plan is not None and self.fault_plan.checkpoint
+
+    # -- memory accounting -----------------------------------------------------
+
+    def admit(self, stage, worker: int, items: list, codec,
+              price: bool = True) -> list:
+        """Route one worker's resident collection through the memory
+        accountant; see :meth:`QueryResources.admit
+        <repro.engine.resources.QueryResources.admit>`.  Returns the list
+        the operator must use (spilled items come back as replayed
+        clones in their original positions)."""
+        return self.resources.admit(self, stage, worker, items, codec,
+                                    price=price)
 
     # -- cancellation ----------------------------------------------------------
 
@@ -185,6 +213,9 @@ class ExecutionContext:
                 tracer.record_call(
                     phase, time.perf_counter() - started, ok=False
                 )
+            if self.breaker is not None and not isinstance(
+                    exc, QueryTimeoutError):
+                self.breaker.record_failure(join_name)
             if self.on_error == "fail" or isinstance(exc, QueryTimeoutError):
                 if isinstance(exc, FudjCallbackError):
                     raise
@@ -199,9 +230,24 @@ class ExecutionContext:
             return False, None
         if timed:
             tracer.record_call(phase, time.perf_counter() - started)
+        self.note_breaker_success(join_name)
         return True, result
 
+    def note_breaker_success(self, join_name: str) -> None:
+        """Remember a healthy callback; the breaker streak only resets
+        when the whole query completes (see :meth:`finish`), so a failing
+        query cannot launder its streak through its own earlier
+        successes."""
+        if self.breaker is not None:
+            self._breaker_ok.add(join_name)
+
     def finish(self) -> QueryMetrics:
-        """Fold translator counters into the metrics and return them."""
+        """Fold translator + resource counters into the metrics, drop any
+        spill files, and return the metrics."""
         self.metrics.translation_conversions = self.translator.total_conversions
+        self.resources.fold_into(self.metrics)
+        self.resources.close()
+        if self.breaker is not None:
+            for join_name in sorted(self._breaker_ok):
+                self.breaker.record_success(join_name)
         return self.metrics

@@ -15,7 +15,8 @@ class PartitionedDataset:
     even spread.
     """
 
-    __slots__ = ("name", "schema", "partitions", "primary_key")
+    __slots__ = ("name", "schema", "partitions", "primary_key",
+                 "_bytes_cache")
 
     def __init__(self, name: str, schema: Schema, num_partitions: int,
                  primary_key: str = None) -> None:
@@ -25,6 +26,7 @@ class PartitionedDataset:
         self.schema = schema
         self.partitions = [[] for _ in range(num_partitions)]
         self.primary_key = primary_key
+        self._bytes_cache = None
 
     @property
     def num_partitions(self) -> int:
@@ -60,6 +62,7 @@ class PartitionedDataset:
         else:
             index = len(self) % self.num_partitions
         self.partitions[index].append(record)
+        self._bytes_cache = None
 
     def bulk_load(self, rows) -> int:
         """Insert an iterable of mappings; returns the number inserted."""
@@ -68,6 +71,17 @@ class PartitionedDataset:
             self.insert(row)
             count += 1
         return count
+
+    def total_bytes(self) -> int:
+        """Wire size of the whole dataset — the catalog statistic the
+        admission controller uses to estimate a query's reservation.
+        Cached until the next insert (bulk loads invalidate per row but
+        the sum is only computed on demand)."""
+        if self._bytes_cache is None:
+            self._bytes_cache = sum(
+                record.serialized_size() for record in self.scan()
+            )
+        return self._bytes_cache
 
     def scan(self):
         """Yield every record (all partitions, in partition order)."""

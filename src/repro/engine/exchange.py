@@ -16,8 +16,26 @@ from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
 from repro.engine.faults import apply_exchange_faults, charge_checkpoint
+from repro.engine.resources import RecordSpillCodec
 
 _SIZE_SAMPLE = 32
+
+
+def _admit_received(out, ctx: ExecutionContext, stage) -> list:
+    """Account receive buffers against the memory budget.
+
+    Active only under enforcement (``Database(memory_budget=...)``):
+    exchange buffers were never priced by the cost model, so un-governed
+    runs skip this entirely and charge exactly what they always did.
+    Spilled records are replayed in place, keeping partition order.
+    """
+    if not ctx.resources.enforce:
+        return out
+    codec = RecordSpillCodec()
+    return [
+        ctx.admit(stage, worker, partition, codec, price=False)
+        for worker, partition in enumerate(out)
+    ]
 
 
 def _partition_bytes(partition, ctx: ExecutionContext) -> int:
@@ -60,7 +78,7 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
             charge_checkpoint(ctx, stage, worker,
                               _partition_bytes(partition, ctx))
         stage.records_out = sum(len(p) for p in out)
-        return out
+        return _admit_received(out, ctx, stage)
 
 
 def broadcast_exchange(partitions, ctx: ExecutionContext,
@@ -93,7 +111,8 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
         charge_checkpoint(ctx, stage, 0, total_bytes)
         stage.records_in = len(everything)
         stage.records_out = len(everything) * ctx.num_partitions
-        return [list(everything) for _ in range(ctx.num_partitions)]
+        replicas = [list(everything) for _ in range(ctx.num_partitions)]
+        return _admit_received(replicas, ctx, stage)
 
 
 def random_exchange(partitions, ctx: ExecutionContext,
@@ -124,4 +143,4 @@ def random_exchange(partitions, ctx: ExecutionContext,
             charge_checkpoint(ctx, stage, worker,
                               _partition_bytes(partition, ctx))
         stage.records_out = sum(len(p) for p in out)
-        return out
+        return _admit_received(out, ctx, stage)

@@ -55,7 +55,9 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  measure_bytes: bool = True, fault_plan: FaultPlan = None,
                  on_error: str = "fail",
                  timeout_seconds: float = None,
-                 trace: bool = False) -> QueryResult:
+                 trace: bool = False,
+                 resources=None,
+                 breaker=None) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -71,13 +73,24 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
         trace: record a structured span trace (phase/callback tree, skew
             diagnostics) on :attr:`QueryResult.trace`.  Adds zero charged
             cost — the simulated makespan is identical either way.
+        resources: per-query memory accountant
+            (:class:`~repro.engine.resources.QueryResources`); created in
+            pure-pricing mode when not given.
+        breaker: shared FUDJ callback circuit breaker
+            (:class:`~repro.engine.resources.CircuitBreaker`), or None.
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
         on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
+        resources=resources, breaker=breaker,
     )
     started = time.perf_counter()
-    result: OperatorResult = plan.execute(ctx)
+    try:
+        result: OperatorResult = plan.execute(ctx)
+    except BaseException:
+        # Failed queries must not leak spill files.
+        ctx.resources.close()
+        raise
     metrics = ctx.finish()
     metrics.output_records = len(result)
     rows = [record.to_dict() for record in result.all_records()]

@@ -86,6 +86,17 @@ class QueryMetrics:
         #: Per-phase details of quarantined records (quarantine policy
         #: only; capped at MAX_QUARANTINE_REPORT entries).
         self.quarantine_log = []
+        # -- resource governance -----------------------------------------------
+        #: High-water mark of bytes concurrently admitted by the memory
+        #: accountant across all (stage, worker) grants.
+        self.peak_reserved_bytes = 0.0
+        #: Bytes actually written to spill files (0 unless a
+        #: ``memory_budget`` was enforced and exceeded).
+        self.spill_bytes = 0.0
+        #: Spill files written (each over-budget admit writes one).
+        self.spill_files = 0
+        #: Wall-clock seconds spent waiting in the admission queue.
+        self.queue_seconds = 0.0
         #: Invoked with each newly created stage — the execution context
         #: uses it as a cancellation point for query timeouts.
         self.stage_observer = None
@@ -190,6 +201,9 @@ class QueryMetrics:
         fault_line = self.fault_summary_line()
         if fault_line:
             lines.append(fault_line)
+        resource_line = self.resource_summary_line()
+        if resource_line:
+            lines.append(resource_line)
         return "\n".join(lines)
 
     def fault_summary_line(self) -> str:
@@ -203,6 +217,18 @@ class QueryMetrics:
             f"{self.stragglers_detected} stragglers, "
             f"{self.records_quarantined} quarantined, "
             f"recovery {self.recovery_seconds * 1000:.2f} ms"
+        )
+
+    def resource_summary_line(self) -> str:
+        """One-line resource-governance accounting; empty unless a spill
+        actually happened or the query waited for admission, so existing
+        profile output is unchanged for un-governed runs."""
+        if not (self.spill_files or self.queue_seconds):
+            return ""
+        return (
+            f"resources: peak {self.peak_reserved_bytes:.0f} reserved bytes, "
+            f"{self.spill_files} spill files ({self.spill_bytes:.0f} bytes), "
+            f"queue wait {self.queue_seconds * 1000:.2f} ms"
         )
 
     def to_dict(self, cores: int = None) -> dict:
@@ -229,6 +255,10 @@ class QueryMetrics:
             "records_quarantined": self.records_quarantined,
             "recovery_seconds": self.recovery_seconds,
             "checkpoint_bytes": self.checkpoint_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "spill_bytes": self.spill_bytes,
+            "spill_files": self.spill_files,
+            "queue_seconds": self.queue_seconds,
         }
         if cores is not None:
             out["simulated_seconds"] = self.simulated_seconds(cores)

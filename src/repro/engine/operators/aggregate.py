@@ -11,6 +11,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.exchange import hash_exchange
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
 from repro.engine.record import Record, Schema
+from repro.engine.resources import RecordSpillCodec
 from repro.serde.values import box, unbox
 
 
@@ -208,9 +209,16 @@ class GroupBy(PhysicalOperator):
         stage = ctx.metrics.stage(self.stage_name)
         model = ctx.cost_model
 
-        # Phase 1: local aggregation per worker.
+        # Phase 1: local aggregation per worker.  Under a memory budget
+        # the pre-aggregation input is admitted first — aggregation tables
+        # were never priced for spills, so this is enforcement-only.
         local_tables = []
         for worker, partition in enumerate(source.partitions):
+            if ctx.resources.enforce:
+                partition = ctx.admit(
+                    stage, worker, partition,
+                    RecordSpillCodec(source.schema), price=False,
+                )
             table = {}
             for record in partition:
                 key = tuple(key_fn(record) for _, key_fn in self.keys)

@@ -43,6 +43,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.exchange import hash_exchange
 from repro.engine.faults import apply_exchange_faults, charge_checkpoint
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.resources import EntrySpillCodec
 from repro.errors import ExecutionError, FudjCallbackError
 
 __all__ = ["FudjCallbackError", "FudjJoin"]
@@ -54,7 +55,9 @@ def _guard(ctx, join, phase: str, fn, *args):
     Used for the phases that must fail hard regardless of the error
     policy — a broken ``divide`` or ``global_aggregate`` leaves no plan
     to continue with.  With tracing on, the call lands in the aggregated
-    callback span of the currently open span.
+    callback span of the currently open span.  A shared circuit breaker
+    counts every failure (hard-fail phases included); successes only
+    reset the streak when the whole query completes.
     """
     tracer = ctx.tracer
     started = time.perf_counter() if tracer.enabled else 0.0
@@ -63,14 +66,31 @@ def _guard(ctx, join, phase: str, fn, *args):
     except FudjCallbackError:
         if tracer.enabled:
             tracer.record_call(phase, time.perf_counter() - started, ok=False)
+        if ctx.breaker is not None:
+            ctx.breaker.record_failure(join.name)
         raise
     except Exception as exc:
         if tracer.enabled:
             tracer.record_call(phase, time.perf_counter() - started, ok=False)
+        if ctx.breaker is not None:
+            ctx.breaker.record_failure(join.name)
         raise FudjCallbackError(join.name, phase, exc) from exc
     if tracer.enabled:
         tracer.record_call(phase, time.perf_counter() - started)
+    ctx.note_breaker_success(join.name)
     return result
+
+
+def _pair_identity(record) -> int:
+    """Identity of one join-input record for pair dedup.
+
+    Records that went through a spill round-trip carry a ``rid`` (a
+    process-unique negative integer, shared by the original and every
+    replayed clone); in-memory records fall back to ``id()``, which is
+    always non-negative — the two namespaces cannot collide.
+    """
+    rid = record.rid
+    return rid if rid is not None else id(record)
 
 
 class FudjJoin(PhysicalOperator):
@@ -287,6 +307,9 @@ class FudjJoin(PhysicalOperator):
     # -- phase 3: COMBINE ---------------------------------------------------------
 
     def run(self, ctx: ExecutionContext) -> OperatorResult:
+        if ctx.breaker is not None:
+            # Fail fast before any phase runs when the library is tripped.
+            ctx.breaker.check(self.join.name)
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
         join = self.join
@@ -370,16 +393,19 @@ class FudjJoin(PhysicalOperator):
 
                 def task(worker=worker, left_entries=left_entries,
                          right_entries=right_entries):
-                    table = defaultdict(list)
-                    build_bytes = 0
-                    for bucket_id, key, record in left_entries:
-                        table[bucket_id].append((key, record))
-                        build_bytes += 9 + record.serialized_size()
-                    stage.charge(
-                        worker,
-                        len(left_entries) * model.hash_op
-                        + model.spill_units(build_bytes),
+                    # COMBINE build state goes through the accountant: it
+                    # prices the spill exactly as before and, under a
+                    # memory budget, spills/replays the overflow for real.
+                    build = ctx.admit(
+                        stage, worker, left_entries,
+                        EntrySpillCodec(
+                            lambda r: self._external_key(r, self.left_key, ctx)
+                        ),
                     )
+                    table = defaultdict(list)
+                    for bucket_id, key, record in build:
+                        table[bucket_id].append((key, record))
+                    stage.charge(worker, len(build) * model.hash_op)
                     rows = []
                     verify_units = 0.0
                     dedup_checks = 0
@@ -466,13 +492,15 @@ class FudjJoin(PhysicalOperator):
                     # Every worker materializes the whole broadcast side —
                     # per-node work that does not shrink as the cluster grows
                     # (and spills when it exceeds the worker's memory budget).
-                    broadcast_bytes = sum(
-                        9 + r.serialized_size() for _, _, r in broadcast
+                    broadcast = ctx.admit(
+                        stage, worker, broadcast,
+                        EntrySpillCodec(
+                            lambda r: self._external_key(r, self.right_key, ctx)
+                        ),
                     )
                     stage.charge(
                         worker,
-                        (len(left_entries) + len(broadcast)) * model.hash_op
-                        + model.spill_units(broadcast_bytes),
+                        (len(left_entries) + len(broadcast)) * model.hash_op,
                     )
                     rows = []
                     match_checks = 0
@@ -590,10 +618,10 @@ class FudjJoin(PhysicalOperator):
         buckets* (a duplicate) from *two different pairs with equal field
         values* (two legitimate results) — the original set-similarity
         study dedups on record ids for the same reason.  Exchanges move
-        references, so the constituent record objects are stable
-        identities within one query.
+        references and spills replay clones that keep their ``rid``, so
+        :func:`_pair_identity` is stable within one query either way.
         """
-        return ((id(record1), id(record2)), joined)
+        return ((_pair_identity(record1), _pair_identity(record2)), joined)
 
     def _join_buckets_local(self, left_table, right_entries, pplan,
                             out_schema, ctx: ExecutionContext, tag=None):
@@ -675,6 +703,22 @@ class FudjJoin(PhysicalOperator):
 
                 def task(worker=worker, local_left=local_left,
                          local_right=local_right):
+                    if ctx.resources.enforce:
+                        # Both routed sides are resident; this plan never
+                        # priced spills (it co-partitions instead of
+                        # broadcasting), so admission is enforcement-only.
+                        local_left = ctx.admit(
+                            stage, worker, local_left,
+                            EntrySpillCodec(lambda r: self._external_key(
+                                r, self.left_key, ctx)),
+                            price=False,
+                        )
+                        local_right = ctx.admit(
+                            stage, worker, local_right,
+                            EntrySpillCodec(lambda r: self._external_key(
+                                r, self.right_key, ctx)),
+                            price=False,
+                        )
                     stage.charge(
                         worker,
                         (len(local_left) + len(local_right)) * model.hash_op,

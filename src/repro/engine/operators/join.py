@@ -14,6 +14,7 @@ from collections import defaultdict
 from repro.engine.context import ExecutionContext
 from repro.engine.exchange import broadcast_exchange, hash_exchange, random_exchange
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
+from repro.engine.resources import RecordSpillCodec
 
 
 class HashJoin(PhysicalOperator):
@@ -63,16 +64,17 @@ class HashJoin(PhysicalOperator):
         for worker in range(ctx.num_partitions):
 
             def task(worker=worker):
-                table = defaultdict(list)
-                build_bytes = 0
-                for record in left_parts[worker]:
-                    table[self.left_key(record)].append(record)
-                    build_bytes += record.serialized_size()
-                stage.charge(
-                    worker,
-                    len(left_parts[worker]) * model.hash_op
-                    + model.spill_units(build_bytes),
+                # The build side is resident state: the accountant prices
+                # its spill (and, under a memory budget, actually spills
+                # and replays the overflow) before the table is built.
+                build = ctx.admit(
+                    stage, worker, left_parts[worker],
+                    RecordSpillCodec(left.schema),
                 )
+                table = defaultdict(list)
+                for record in build:
+                    table[self.left_key(record)].append(record)
+                stage.charge(worker, len(build) * model.hash_op)
                 rows = []
                 probes = 0
                 pairs = 0

@@ -60,10 +60,14 @@ class Schema:
 class Record:
     """An immutable row of boxed values conforming to a schema."""
 
-    __slots__ = ("schema", "values")
+    __slots__ = ("schema", "values", "rid")
 
     def __init__(self, schema: Schema, values) -> None:
         self.schema = schema
+        # Stable identity carried across spill round-trips: operators that
+        # need object identity (pair dedup) use ``rid`` when set, so a
+        # record replayed from a spill file still counts as "the same row".
+        self.rid = None
         self.values = tuple(values)
         if len(self.values) != len(schema):
             raise ExecutionError(

@@ -371,6 +371,8 @@ SYS_QUERIES_FIELDS = (
     ("tasks_retried", "int"), ("exchange_retries", "int"),
     ("stragglers", "int"), ("quarantined", "int"),
     ("recovery_seconds", "double"), ("checkpoint_bytes", "double"),
+    ("peak_reserved_bytes", "double"), ("spill_bytes", "double"),
+    ("spill_files", "int"), ("queue_seconds", "double"),
     ("summarize_units", "double"), ("partition_units", "double"),
     ("combine_units", "double"), ("other_units", "double"),
     ("max_bucket_imbalance", "double"), ("max_replication", "double"),
@@ -394,6 +396,11 @@ SYS_METRICS_FIELDS = (
     ("value", "double"),
 )
 
+SYS_RESOURCES_FIELDS = (
+    ("component", "string"), ("name", "string"), ("value", "double"),
+    ("detail", "string"),
+)
+
 #: Every registered ``sys.*`` table: name → field schema.  The docs
 #: linter checks each name here is documented in ``docs/``.
 SYS_TABLES = {
@@ -401,6 +408,7 @@ SYS_TABLES = {
     "sys.stages": SYS_STAGES_FIELDS,
     "sys.callbacks": SYS_CALLBACKS_FIELDS,
     "sys.metrics": SYS_METRICS_FIELDS,
+    "sys.resources": SYS_RESOURCES_FIELDS,
 }
 
 
@@ -448,6 +456,20 @@ class Telemetry:
         self._checkpoint_bytes = r.counter(
             "fudj_checkpoint_bytes_total",
             "Bytes spooled to the checkpoint store.")
+        self._spill_bytes = r.counter(
+            "fudj_spill_bytes_total",
+            "Bytes written to memory-budget spill files.")
+        self._spill_files = r.counter(
+            "fudj_spill_files_total", "Memory-budget spill files written.")
+        self._admission = r.counter(
+            "fudj_admission_total",
+            "Admission controller decisions, by outcome.", ("outcome",))
+        self._breaker_trips = r.counter(
+            "fudj_breaker_trips_total", "FUDJ circuit breaker trips.")
+        self._breaker_rejections = r.counter(
+            "fudj_breaker_rejections_total",
+            "Queries failed fast by an open circuit breaker.")
+        self._breaker_seen = {"trips": 0, "rejections": 0}
         self._stage_units = r.counter(
             "fudj_stage_units_total",
             "Work units charged, by stage operator label.", ("op",))
@@ -513,6 +535,8 @@ class Telemetry:
             self._quarantined.inc(m["records_quarantined"])
             self._recovery_seconds.inc(m["recovery_seconds"])
             self._checkpoint_bytes.inc(m["checkpoint_bytes"])
+            self._spill_bytes.inc(m["spill_bytes"])
+            self._spill_files.inc(m["spill_files"])
             for stage_row in entry["stages"]:
                 self._stage_units.inc(stage_row["cpu_units"],
                                       op=stage_row["op"])
@@ -553,6 +577,10 @@ class Telemetry:
             "quarantined": 0,
             "recovery_seconds": 0.0,
             "checkpoint_bytes": 0.0,
+            "peak_reserved_bytes": 0.0,
+            "spill_bytes": 0.0,
+            "spill_files": 0,
+            "queue_seconds": 0.0,
             "summarize_units": 0.0,
             "partition_units": 0.0,
             "combine_units": 0.0,
@@ -577,6 +605,10 @@ class Telemetry:
             entry["quarantined"] = m["records_quarantined"]
             entry["recovery_seconds"] = m["recovery_seconds"]
             entry["checkpoint_bytes"] = m["checkpoint_bytes"]
+            entry["peak_reserved_bytes"] = m["peak_reserved_bytes"]
+            entry["spill_bytes"] = m["spill_bytes"]
+            entry["spill_files"] = m["spill_files"]
+            entry["queue_seconds"] = m["queue_seconds"]
             for seq, stage in enumerate(metrics.stages):
                 op = stage_op(stage.name)
                 units = stage.total_units()
@@ -616,6 +648,25 @@ class Telemetry:
                 entry["max_replication"] = max(
                     entry["max_replication"], skew.replication_factor())
         return entry
+
+    def note_admission(self, outcome: str) -> None:
+        """Count one admission decision (``admitted`` / ``queue-full`` /
+        ``timeout``)."""
+        self._admission.inc(outcome=outcome)
+
+    def sync_breaker(self, breaker) -> None:
+        """Fold a circuit breaker's lifetime trip/rejection counts into
+        the registry (idempotent — only deltas are added)."""
+        if breaker is None:
+            return
+        trips = breaker.trips - self._breaker_seen["trips"]
+        if trips > 0:
+            self._breaker_trips.inc(trips)
+        rejections = breaker.rejections - self._breaker_seen["rejections"]
+        if rejections > 0:
+            self._breaker_rejections.inc(rejections)
+        self._breaker_seen["trips"] = breaker.trips
+        self._breaker_seen["rejections"] = breaker.rejections
 
     # -- snapshots ------------------------------------------------------------
 
@@ -704,6 +755,36 @@ class Telemetry:
         return rows
 
 
+def resources_rows(db) -> list:
+    """Current resource-governance state as ``sys.resources`` rows."""
+    rows = []
+
+    def add(component, name, value, detail=""):
+        rows.append({"component": component, "name": name,
+                     "value": float(value), "detail": detail})
+
+    budget = getattr(db, "memory_budget", None)
+    add("budget", "memory_budget_bytes", budget or 0.0,
+        "off" if budget is None else "on")
+    add("budget", "worker_memory_bytes",
+        db.cluster.cost_model.worker_memory_bytes)
+    admission = getattr(db, "admission", None)
+    if admission is not None:
+        for name, value in sorted(admission.snapshot().items()):
+            add("admission", name, value)
+    breaker = getattr(db, "breaker", None)
+    if breaker is not None:
+        snap = breaker.snapshot()
+        add("breaker", "threshold", snap["threshold"])
+        add("breaker", "trips", snap["trips"])
+        add("breaker", "rejections", snap["rejections"])
+        add("breaker", "open_libraries", len(snap["open"]),
+            ",".join(snap["open"]))
+        for join_name, failures in snap["failures"].items():
+            add("breaker", "consecutive_failures", failures, join_name)
+    return rows
+
+
 def register_sys_tables(db) -> None:
     """Register every ``sys.*`` virtual table on a database's catalog
     and cluster, backed by its :class:`Telemetry` instance."""
@@ -713,6 +794,7 @@ def register_sys_tables(db) -> None:
         "sys.stages": telemetry.stages_rows,
         "sys.callbacks": telemetry.callbacks_rows,
         "sys.metrics": telemetry.metrics_rows,
+        "sys.resources": lambda: resources_rows(db),
     }
     for name, fields in SYS_TABLES.items():
         db.catalog.register_virtual_table(name, fields)

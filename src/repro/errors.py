@@ -84,6 +84,46 @@ class TaskFailedError(ExecutionError):
         self.attempts = attempts
 
 
+class AdmissionError(ExecutionError):
+    """The admission controller refused to run the query.
+
+    ``reason`` is ``"queue-full"`` (load shed: the bounded wait queue was
+    at capacity) or ``"timeout"`` (the query waited past the configured
+    queue timeout without getting a grant).  ``estimate_bytes`` is the
+    memory reservation the controller computed for the query.
+    """
+
+    def __init__(self, reason: str, estimate_bytes: float,
+                 detail: str = "") -> None:
+        super().__init__(
+            f"admission rejected ({reason}): "
+            f"estimated {estimate_bytes:.0f} reserved bytes"
+            + (f"; {detail}" if detail else "")
+        )
+        self.reason = reason
+        self.estimate_bytes = estimate_bytes
+
+
+class BreakerOpenError(ExecutionError):
+    """A FUDJ callback library's circuit breaker is open.
+
+    After ``threshold`` consecutive callback failures the breaker trips
+    and every later query using the library fails fast with this error
+    until an operator resets it (shell ``.breaker reset`` or
+    :meth:`CircuitBreaker.reset`).
+    """
+
+    def __init__(self, join_name: str, failures: int, threshold: int) -> None:
+        super().__init__(
+            f"circuit breaker open for FUDJ {join_name!r}: "
+            f"{failures} consecutive failures (threshold {threshold}); "
+            "reset the breaker to re-enable the library"
+        )
+        self.join_name = join_name
+        self.failures = failures
+        self.threshold = threshold
+
+
 class SerdeError(ReproError):
     """A value could not be (de)serialized or translated."""
 

@@ -109,6 +109,33 @@ class TestFaultPlan:
             with pytest.raises(ExecutionError):
                 FaultPlan.parse(bad)
 
+    def test_parse_rejects_malformed_shapes(self):
+        for bad in ("", ":", "1:", ":0.1", "1:0.1:0.2:0.3:0.4",
+                    "1.5:0.1", "1:0.1:x:0.3", "1::0.2:0.3"):
+            with pytest.raises(ExecutionError):
+                FaultPlan.parse(bad)
+
+    def test_parse_rejects_out_of_range_rates(self):
+        for bad in ("1:1.5", "1:-0.1", "1:0.1:2.0:0.3", "1:0.1:0.2:-1"):
+            with pytest.raises(ExecutionError):
+                FaultPlan.parse(bad)
+
+    def test_parse_boundary_rates_accepted(self):
+        assert FaultPlan.parse("0:0.0").crash_rate == 0.0
+        assert FaultPlan.parse("0:1.0").crash_rate == 1.0
+
+    def test_slowdown_below_one_rejected(self):
+        for slowdown in (0.99, 0.0, -2.0):
+            with pytest.raises(ExecutionError):
+                FaultPlan(straggler_slowdown=slowdown)
+
+    def test_backoff_capped_and_monotone(self):
+        plan = FaultPlan(backoff_base_seconds=0.05, backoff_cap_seconds=1.0)
+        delays = [plan.backoff_seconds(attempt) for attempt in range(1, 20)]
+        assert all(d <= plan.backoff_cap_seconds for d in delays)
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert delays[-1] == plan.backoff_cap_seconds
+
     def test_phase_filter(self):
         plan = FaultPlan(crash_rate=0.5, phases=("combine",))
         assert plan.active_for("fudj-join#3/combine")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs linter: keep the documented surface honest.
 
-Three checks over ``README.md`` and ``docs/*.md``:
+Five checks over ``README.md`` and ``docs/*.md``:
 
 1. **Links resolve.** Every relative markdown link (and image) points at
    a file or directory that exists; fragment-only links and absolute
@@ -15,6 +15,9 @@ Three checks over ``README.md`` and ``docs/*.md``:
 4. **sys tables are documented.** Every virtual table registered in
    ``repro.engine.telemetry.SYS_TABLES`` is mentioned somewhere in the
    docs.
+5. **CLI flags are documented.** Every ``--flag`` the shell advertises
+   in its usage text (``repro.cli``'s module docstring) is mentioned
+   somewhere in the docs.
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -33,6 +36,8 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 #: A dot-command line in the shell help: "    .name arg-spec   description".
 _DOT_COMMAND = re.compile(r"^\s{4}(\.[a-z]+)\s", re.MULTILINE)
+#: A CLI flag in the shell's usage text: "--memory-budget", "--trace", ...
+_CLI_FLAG = re.compile(r"--[a-z][a-z-]+")
 
 
 def doc_files() -> list:
@@ -63,6 +68,12 @@ def shell_dot_commands() -> set:
     # .exit is an undocumented alias of .quit; hold the docs to the
     # advertised surface.
     return commands
+
+
+def cli_flags() -> set:
+    from repro import cli
+
+    return set(_CLI_FLAG.findall(cli.__doc__))
 
 
 def database_kwargs() -> set:
@@ -101,6 +112,7 @@ def main() -> int:
     problems += check_mentions(files, shell_dot_commands(), "dot-command")
     problems += check_mentions(files, database_kwargs(), "Database kwarg")
     problems += check_mentions(files, sys_tables(), "sys table")
+    problems += check_mentions(files, cli_flags(), "CLI flag")
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
@@ -109,7 +121,8 @@ def main() -> int:
     print(f"lint-docs: {len(files)} files clean "
           f"({len(shell_dot_commands())} dot-commands, "
           f"{len(database_kwargs())} Database kwargs, "
-          f"{len(sys_tables())} sys tables checked)")
+          f"{len(sys_tables())} sys tables, "
+          f"{len(cli_flags())} CLI flags checked)")
     return 0
 
 
