@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry test-resources bench bench-check lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources test-workers bench bench-check lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,10 @@ test-telemetry:   ## metrics registry, query history, sys.* tables
 test-resources:   ## memory budgets, spill, admission, circuit breakers
 	$(PYTHON) -m pytest tests/test_resources.py tests/test_resource_properties.py -q
 	$(PYTHON) -m pytest benchmarks/bench_resource_governance.py --benchmark-disable -q
+
+test-workers:     ## supervised process-pool backend: parity, crashes, recovery
+	$(PYTHON) -m pytest tests/test_workers.py -q
+	$(PYTHON) benchmarks/bench_fig10_scalability.py --backend process --workers 2 --out /tmp/fudj-fig10-measured.json
 
 bench:            ## full run: timings + shape assertions + results/*.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,6 +16,10 @@ Usage::
                                            # over-budget operator state
                                            # spills to disk, admission
                                            # control activates
+    python -m repro --backend process      # run COMBINE tasks on a
+                                           # supervised pool of real
+                                           # worker processes (serial is
+                                           # the deterministic default)
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
@@ -42,6 +46,11 @@ session:
                                 libraries: open/closed per library,
                                 trip and rejection counts; reset closes
                                 one library (or all) again
+    .backend serial|process|show  execution backend: serial (simulated
+                                workers, deterministic) or process (a
+                                supervised pool of real worker processes
+                                that crash, straggle, and recover; rows
+                                stay byte-identical to serial)
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -150,7 +159,9 @@ class Shell:
         if self.timing and result.metrics.wall_seconds:
             from repro.query.printer import render_timing_line
 
-            self.write(render_timing_line(result, self.db.cluster.cores))
+            self.write(render_timing_line(
+                result, result.cores or self.db.cluster.cores
+            ))
 
     # -- dot commands ------------------------------------------------------------------
 
@@ -277,6 +288,18 @@ class Shell:
                 self.write(f"breaker reset ({target})")
             else:
                 self.write("usage: .breaker show|reset [name]")
+        elif name == ".backend":
+            if not args or args[0] == "show":
+                line = f"backend = {self.db.backend}"
+                pool = self.db.worker_pool
+                if pool is not None:
+                    line += f" ({pool.describe()})"
+                self.write(line)
+            elif args[0] in ("serial", "process"):
+                self.db.set_backend(args[0])
+                self.write(f"backend = {self.db.backend}")
+            else:
+                self.write("usage: .backend serial|process|show")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -340,6 +363,9 @@ class Shell:
         if previous.memory_budget is not None:
             self.db.set_memory_budget(previous.memory_budget)
         self.db.breaker = previous.breaker
+        self.db.workers = previous.workers
+        self.db.set_backend(previous.backend)
+        previous.close()  # release the old database's worker pool
         queries = {
             "spatial": workloads.SPATIAL_SQL,
             "interval": workloads.INTERVAL_SQL,
@@ -365,6 +391,14 @@ def main(argv=None) -> int:
     fault_plan = None
     metrics_out = None
     memory_budget = None
+    backend = None
+    if "--backend" in argv:
+        at = argv.index("--backend")
+        if at + 1 >= len(argv) or argv[at + 1] not in ("serial", "process"):
+            print("--backend needs serial or process", file=sys.stderr)
+            return 1
+        backend = argv[at + 1]
+        del argv[at:at + 2]
     if "--memory-budget" in argv:
         at = argv.index("--memory-budget")
         if at + 1 >= len(argv):
@@ -397,11 +431,15 @@ def main(argv=None) -> int:
         argv.remove("--trace")
     try:
         shell = Shell(db=Database(fault_plan=fault_plan,
-                                  memory_budget=memory_budget))
+                                  memory_budget=memory_budget,
+                                  backend=backend))
     except ReproError as exc:
         print(f"bad --memory-budget value: {exc}", file=sys.stderr)
         return 1
     shell.trace = trace
+    if shell.db.backend == "process":
+        print("process backend active: COMBINE tasks run on a supervised "
+              "worker-process pool")
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.describe()}")
     if shell.db.memory_budget is not None:

@@ -23,7 +23,9 @@ operators), ``"ontop"`` (scalar UDF inside a nested-loop join).
 
 from __future__ import annotations
 
+import os
 import time
+import weakref
 
 from repro.catalog import Catalog
 from repro.core.dedup import (
@@ -104,6 +106,16 @@ class Database:
       which a join library trips its circuit breaker and later queries
       fail fast with :class:`~repro.errors.BreakerOpenError` until
       ``db.breaker.reset()``.
+
+    Execution backend:
+
+    * ``backend`` — ``"serial"`` (simulated workers in-process, the
+      deterministic default) or ``"process"`` (COMBINE tasks run on a
+      supervised pool of real worker processes that genuinely crash,
+      straggle, and recover; results stay byte-identical to serial).
+      Defaults to the ``FUDJ_BACKEND`` environment variable when unset.
+    * ``workers`` — worker-process count for the process backend
+      (default: a small bound from partitions/cores/machine size).
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
@@ -116,7 +128,9 @@ class Database:
                  max_concurrent: int = None,
                  queue_limit: int = 16,
                  queue_timeout: float = None,
-                 breaker_threshold: int = None) -> None:
+                 breaker_threshold: int = None,
+                 backend: str = None,
+                 workers: int = None) -> None:
         self._base_cost_model = cost_model or CostModel()
         self.memory_budget = _check_budget(memory_budget)
         self.max_concurrent = max_concurrent
@@ -144,6 +158,13 @@ class Database:
         #: caps retained records (oldest evicted first).  Registers the
         #: ``sys.*`` introspection tables on catalog and cluster.
         self.telemetry = Telemetry(history_limit=history_limit)
+        self.workers = workers
+        self.worker_pool = None
+        self._pool_finalizer = None
+        self.cluster.backend = _check_backend(
+            backend if backend is not None
+            else os.environ.get("FUDJ_BACKEND") or "serial"
+        )
         register_sys_tables(self)
 
     # -- SQL entry points -----------------------------------------------------------
@@ -205,7 +226,7 @@ class Database:
         self.telemetry.record_statement(
             sql, kind, mode_text, "ok", metrics=result.metrics,
             rows=len(result.rows), trace=result.trace,
-            cores=self.cluster.cores,
+            cores=result.cores or self.cluster.cores,
             wall_seconds=time.perf_counter() - started)
         return result
 
@@ -257,6 +278,64 @@ class Database:
         elif self.admission is not None:
             self.admission.capacity_bytes = self._admission_capacity()
 
+    # -- execution backend ----------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """The active execution backend (``"serial"`` or ``"process"``)."""
+        return self.cluster.backend
+
+    def set_backend(self, backend: str) -> None:
+        """Switch backends; takes effect for the next query.
+
+        Switching to ``serial`` shuts the worker pool down; switching to
+        ``process`` spawns it lazily on the next query's first combine
+        stage.
+        """
+        self.cluster.backend = _check_backend(backend)
+        if self.cluster.backend == "serial":
+            self._shutdown_pool()
+
+    def _acquire_pool(self):
+        """The live worker pool, spawning or respawning it as needed.
+
+        Returns None when workers cannot be spawned at all (the engine
+        then runs the query serially); an existing-but-unhealthy pool is
+        torn down and replaced, so one exhausted query does not pin the
+        whole database to the serial path.
+        """
+        pool = self.worker_pool
+        if pool is not None and pool.healthy:
+            return pool
+        if pool is not None:
+            self._shutdown_pool()
+        try:
+            from repro.engine.workers import WorkerPool, default_pool_size
+
+            size = self.workers or default_pool_size(self.cluster)
+            pool = WorkerPool(size)
+        except Exception:
+            return None
+        self.worker_pool = pool
+        # The pool holds OS processes and a temp spill tree; tie both to
+        # this database's lifetime even when close() is never called.
+        self._pool_finalizer = weakref.finalize(self, pool.shutdown)
+        return pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
+            self.worker_pool = None
+
+    def close(self) -> None:
+        """Release OS resources (the worker pool).  Idempotent; the
+        database remains usable afterwards on the serial path (a later
+        process-backend query just respawns the pool)."""
+        self._shutdown_pool()
+
     def _estimate_plan_bytes(self, plan) -> float:
         """Memory-reservation estimate of a physical plan: the wire bytes
         of every stored dataset it scans (catalog statistics).  Virtual
@@ -294,16 +373,19 @@ class Database:
                 raise
             self.telemetry.note_admission("admitted")
             resources.queue_seconds = ticket.queue_seconds
+        pool = self._acquire_pool if self.cluster.backend == "process" else None
         try:
             return execute_plan(plan, self.cluster,
                                 measure_bytes=measure_bytes,
                                 fault_plan=faults, on_error=policy,
                                 timeout_seconds=timeout, trace=tracing,
-                                resources=resources, breaker=self.breaker)
+                                resources=resources, breaker=self.breaker,
+                                pool=pool)
         finally:
             if ticket is not None:
                 self.admission.release(ticket)
             self.telemetry.sync_breaker(self.breaker)
+            self.telemetry.sync_pool(self.worker_pool)
 
     def _governance_lines(self, metrics) -> list:
         """EXPLAIN ANALYZE lines describing the governance posture and
@@ -560,6 +642,14 @@ def _to_fault_plan(fault_plan) -> FaultPlan:
         f"fault_plan must be a FaultPlan, a SEED:RATE spec string, or None; "
         f"got {fault_plan!r}"
     )
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in ("serial", "process"):
+        raise PlanError(
+            f"unknown backend {backend!r}; use serial or process"
+        )
+    return backend
 
 
 def _check_policy(on_error: str) -> str:

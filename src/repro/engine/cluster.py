@@ -27,13 +27,18 @@ class Cluster:
         self.num_partitions = num_partitions
         self.cores = cores
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        #: Which execution backend queries on this cluster use:
+        #: ``"serial"`` (simulated workers, the deterministic default) or
+        #: ``"process"`` (a supervised pool of real worker processes).
+        #: The database owning the cluster keeps this in sync.
+        self.backend = "serial"
         self._datasets = {}
         self._virtual = {}
 
     def __repr__(self) -> str:
         return (
             f"Cluster({self.num_partitions} partitions, {self.cores} cores, "
-            f"{len(self._datasets)} datasets)"
+            f"{self.backend} backend, {len(self._datasets)} datasets)"
         )
 
     # -- dataset storage -------------------------------------------------------

@@ -46,6 +46,11 @@ class ExecutionContext:
         breaker: optional shared
             :class:`~repro.engine.resources.CircuitBreaker` tracking
             consecutive FUDJ callback failures across queries.
+        pool: optional process-pool backend — a
+            :class:`~repro.engine.workers.WorkerPool`, or a zero-argument
+            provider returning one (resolved lazily on the first combine
+            stage, so the serial backend never forks).  None keeps the
+            query on the serial backend.
     """
 
     def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
@@ -54,7 +59,8 @@ class ExecutionContext:
                  timeout_seconds: float = None,
                  trace: bool = False,
                  resources=None,
-                 breaker=None) -> None:
+                 breaker=None,
+                 pool=None) -> None:
         if on_error not in ERROR_POLICIES:
             raise ExecutionError(
                 f"unknown error policy {on_error!r}; use fail/skip/quarantine"
@@ -73,6 +79,9 @@ class ExecutionContext:
         self.resources = resources
         self.breaker = breaker
         self._breaker_ok = set()
+        self._pool_source = pool
+        self._pool = pool if (pool is None or hasattr(pool, "run_tasks")) \
+            else None
         self.tracer = Tracer(enabled=trace)
         self._deadline = (
             None if timeout_seconds is None
@@ -99,6 +108,32 @@ class ExecutionContext:
     def checkpointing(self) -> bool:
         """Whether exchanges spool their outputs to the checkpoint store."""
         return self.fault_plan is not None and self.fault_plan.checkpoint
+
+    # -- process-pool backend --------------------------------------------------
+
+    def active_pool(self):
+        """The live :class:`~repro.engine.workers.WorkerPool` for this
+        query, or None (serial backend, a provider that failed, or a pool
+        that went unhealthy mid-query and degraded to serial)."""
+        if self._pool is None and self._pool_source is not None:
+            source = self._pool_source
+            self._pool_source = None  # resolve the provider at most once
+            try:
+                self._pool = source()
+            except Exception:
+                self._pool = None
+        pool = self._pool
+        if pool is None or not getattr(pool, "healthy", False):
+            return None
+        return pool
+
+    def pool_tick(self) -> None:
+        """Between-stage pool upkeep (exchanges call this): recycle
+        workers that died while idle, drain stale results.  No-op on the
+        serial backend; never resolves a provider early."""
+        pool = self._pool
+        if pool is not None and getattr(pool, "healthy", False):
+            pool.tick()
 
     # -- memory accounting -----------------------------------------------------
 

@@ -56,6 +56,7 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
     Records whose key hashes to their current worker do not cross the
     network (locality is modelled: roughly ``1/P`` of records stay put).
     """
+    ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
     with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
@@ -88,6 +89,7 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
     Network cost is ``(P - 1) * |input bytes|`` — every worker needs a copy
     and one copy is already local somewhere.
     """
+    ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
     with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
@@ -119,6 +121,7 @@ def random_exchange(partitions, ctx: ExecutionContext,
                     stage_name: str = "random-exchange") -> list:
     """Round-robin repartition (the theta-join fallback of paper §VII-C:
     with no partitioning key available, one side is spread randomly)."""
+    ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
     with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",

@@ -27,6 +27,11 @@ class QueryResult:
     schema: tuple
     metrics: QueryMetrics
     trace: Trace = None
+    #: Core count of the cluster the query ran on — the default for
+    #: per-core views like ``to_dict(cores=...)`` and the shell's timing
+    #: line, so the recorded simulated seconds reflect the cluster that
+    #: actually executed the plan.
+    cores: int = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -43,7 +48,11 @@ class QueryResult:
         metrics dict (:meth:`QueryMetrics.to_dict
         <repro.engine.metrics.QueryMetrics.to_dict>`) — the same field
         list telemetry records, so callers never pluck metrics fields
-        ad hoc."""
+        ad hoc.  ``cores`` defaults to the executing cluster's core
+        count, so ``simulated_seconds`` is present (and meaningful)
+        without every caller re-plumbing the cluster config."""
+        if cores is None:
+            cores = self.cores
         return {
             "rows": len(self.rows),
             "schema": list(self.schema),
@@ -57,7 +66,8 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  timeout_seconds: float = None,
                  trace: bool = False,
                  resources=None,
-                 breaker=None) -> QueryResult:
+                 breaker=None,
+                 pool=None) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -78,18 +88,25 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
             pure-pricing mode when not given.
         breaker: shared FUDJ callback circuit breaker
             (:class:`~repro.engine.resources.CircuitBreaker`), or None.
+        pool: process-pool backend — a
+            :class:`~repro.engine.workers.WorkerPool` or a lazy provider
+            of one; None (the default) runs the query serially.
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
         on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
-        resources=resources, breaker=breaker,
+        resources=resources, breaker=breaker, pool=pool,
     )
     started = time.perf_counter()
     try:
         result: OperatorResult = plan.execute(ctx)
     except BaseException:
-        # Failed queries must not leak spill files.
+        # Failed queries must not leak spill files, and an aborted pool
+        # query must not leave its workers' stale results queued.
         ctx.resources.close()
+        active = ctx._pool
+        if active is not None:
+            active.cancel_active()
         raise
     metrics = ctx.finish()
     metrics.output_records = len(result)
@@ -99,4 +116,5 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
     # span covers the same window, so it stays >= the sum of its children.
     metrics.wall_seconds = time.perf_counter() - started
     query_trace = ctx.tracer.finish(wall_seconds=metrics.wall_seconds)
-    return QueryResult(rows, result.schema.fields, metrics, query_trace)
+    return QueryResult(rows, result.schema.fields, metrics, query_trace,
+                       cores=cluster.cores)

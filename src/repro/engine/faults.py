@@ -75,6 +75,12 @@ class FaultPlan:
             "checkpointing overhead at 0% faults".
         phases: stage-name substrings injection is restricted to; empty
             means every stage is eligible.
+        real: under the process backend, act the schedule out physically —
+            a crash roll SIGKILLs the live worker process mid-task and a
+            straggler roll makes the worker genuinely stall — instead of
+            only charging the cost model.  The *accounting* is identical
+            either way (same rolls, same charges), so metrics stay
+            byte-comparable with the serial backend.
     """
 
     seed: int = 0
@@ -88,6 +94,7 @@ class FaultPlan:
     max_task_retries: int = 6
     checkpoint: bool = True
     phases: tuple = ()
+    real: bool = False
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "straggler_rate", "exchange_failure_rate"):
@@ -152,12 +159,19 @@ class FaultPlan:
     def parse(cls, spec: str) -> "FaultPlan":
         """Build a plan from the CLI syntax ``SEED:RATE`` (one rate for
         crash, straggler, and exchange faults alike) or
-        ``SEED:CRASH:STRAGGLER:EXCHANGE``."""
+        ``SEED:CRASH:STRAGGLER:EXCHANGE``.  A trailing ``:real`` token
+        turns on :attr:`real` (physical faults under the process
+        backend)."""
         parts = spec.split(":")
+        real = False
+        if parts and parts[-1] == "real":
+            real = True
+            parts = parts[:-1]
         if len(parts) not in (2, 4):
             raise ExecutionError(
                 f"bad fault spec {spec!r}; use SEED:RATE or "
-                f"SEED:CRASH:STRAGGLER:EXCHANGE"
+                f"SEED:CRASH:STRAGGLER:EXCHANGE (append :real for "
+                f"physical faults under the process backend)"
             )
         try:
             seed = int(parts[0])
@@ -170,15 +184,18 @@ class FaultPlan:
         if len(rates) == 1:
             rates = rates * 3
         return cls(seed=seed, crash_rate=rates[0], straggler_rate=rates[1],
-                   exchange_failure_rate=rates[2])
+                   exchange_failure_rate=rates[2], real=real)
 
     def describe(self) -> str:
-        return (
+        line = (
             f"seed={self.seed} crash={self.crash_rate:g} "
             f"straggler={self.straggler_rate:g} "
             f"exchange={self.exchange_failure_rate:g} "
             f"checkpoint={'on' if self.checkpoint else 'off'}"
         )
+        if self.real:
+            line += " real=on"
+        return line
 
 
 # -- recovery hooks used by exchanges ----------------------------------------

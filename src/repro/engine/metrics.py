@@ -86,6 +86,14 @@ class QueryMetrics:
         #: Per-phase details of quarantined records (quarantine policy
         #: only; capped at MAX_QUARANTINE_REPORT entries).
         self.quarantine_log = []
+        # -- process backend ----------------------------------------------------
+        #: Worker *processes* that died (planned kills and unplanned
+        #: crashes alike) and were respawned while running this query.
+        #: Always 0 under the serial backend.
+        self.worker_restarts = 0
+        #: Heartbeat deadlines a live worker process missed while holding
+        #: a task lease (a real straggler signal, not a simulated one).
+        self.heartbeat_misses = 0
         # -- resource governance -----------------------------------------------
         #: High-water mark of bytes concurrently admitted by the memory
         #: accountant across all (stage, worker) grants.
@@ -255,6 +263,8 @@ class QueryMetrics:
             "records_quarantined": self.records_quarantined,
             "recovery_seconds": self.recovery_seconds,
             "checkpoint_bytes": self.checkpoint_bytes,
+            "worker_restarts": self.worker_restarts,
+            "heartbeat_misses": self.heartbeat_misses,
             "peak_reserved_bytes": self.peak_reserved_bytes,
             "spill_bytes": self.spill_bytes,
             "spill_files": self.spill_files,

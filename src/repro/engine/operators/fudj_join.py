@@ -370,6 +370,25 @@ class FudjJoin(PhysicalOperator):
             return 0.0
         return float(sum(_entry_bytes(entries, ctx) for entries in entry_lists))
 
+    def _pooled_combine(self, ctx: ExecutionContext, stage, kind: str,
+                        left_parts, right_parts, pplan, out_schema, v_cost):
+        """Ship this combine stage to the process pool, if one is attached.
+
+        Returns the per-worker row lists, or None — no pool, an unhealthy
+        pool, or a stage the pool cannot ship (unpicklable join state,
+        an exhausted restart budget, a non-callback worker failure) — in
+        which case the caller falls through to the serial loop, which
+        reproduces any genuine error deterministically.
+        """
+        pool = ctx.active_pool()
+        if pool is None:
+            return None
+        from repro.engine import workers as _workers
+        return _workers.run_combine(
+            pool, self, ctx, stage, kind, left_parts, right_parts,
+            pplan, out_schema, v_cost,
+        )
+
     def _combine_single_join(self, left_assigned, right_assigned, pplan,
                              out_schema, ctx: ExecutionContext) -> list:
         """Hash-partition both sides on bucket id; join equal buckets."""
@@ -387,6 +406,15 @@ class FudjJoin(PhysicalOperator):
         )
         out = []
         with ctx.tracer.span("combine", kind="stage", stage=stage):
+            pooled = self._pooled_combine(
+                ctx, stage, "single", left_parts, right_parts, pplan,
+                out_schema, v_cost,
+            )
+            if pooled is not None:
+                for rows in pooled:
+                    stage.records_out += len(rows)
+                    out.append(rows)
+                return out
             for worker in range(ctx.num_partitions):
                 left_entries = left_parts[worker]
                 right_entries = right_parts[worker]
@@ -483,6 +511,15 @@ class FudjJoin(PhysicalOperator):
         )
         out = []
         with ctx.tracer.span("combine", kind="stage", stage=stage):
+            pooled = self._pooled_combine(
+                ctx, stage, "theta", left_parts, right_parts, pplan,
+                out_schema, v_cost,
+            )
+            if pooled is not None:
+                for rows in pooled:
+                    stage.records_out += len(rows)
+                    out.append(rows)
+                return out
             for worker in range(ctx.num_partitions):
                 left_entries = left_parts[worker]
                 broadcast = right_parts[worker]
@@ -697,6 +734,15 @@ class FudjJoin(PhysicalOperator):
         join = self.join
         out = []
         with ctx.tracer.span("combine", kind="stage", stage=stage):
+            pooled = self._pooled_combine(
+                ctx, stage, "partitioned", left_parts, right_parts, pplan,
+                out_schema, v_cost,
+            )
+            if pooled is not None:
+                for rows in pooled:
+                    stage.records_out += len(rows)
+                    out.append(rows)
+                return out
             for worker in range(num):
                 local_left = left_parts[worker]
                 local_right = right_parts[worker]

@@ -195,6 +195,21 @@ class EntrySpillCodec:
         return bucket, self.rekey(record), record
 
 
+class KeyedEntrySpillCodec(EntrySpillCodec):
+    """:class:`EntrySpillCodec` for worker processes, which cannot re-run
+    key extraction (the key function closes over coordinator state that
+    never ships).  Keys are instead cached up front by record identity;
+    :meth:`EntrySpillCodec.decode` restores ``record.rid`` *before*
+    calling ``rekey``, so the lookup always hits.  The wire frames are
+    identical to the parent codec's, keeping worker spill accounting
+    byte-compatible with the serial backend's.
+    """
+
+    def __init__(self, entries, schema: Schema = None) -> None:
+        keys = {entry[2].rid: entry[1] for entry in entries}
+        super().__init__(lambda record: keys[record.rid], schema)
+
+
 # -- the per-query memory accountant -------------------------------------------
 
 
@@ -212,9 +227,14 @@ class QueryResources:
     positions so downstream results are byte-identical.
     """
 
-    def __init__(self, cost_model: CostModel, enforce: bool = False) -> None:
+    def __init__(self, cost_model: CostModel, enforce: bool = False,
+                 spill_dir: str = None) -> None:
         self.cost_model = cost_model
         self.enforce = enforce
+        #: When set (process-backend workers), spill files go to this
+        #: pre-created per-worker directory instead of a fresh tempdir;
+        #: the pool owns its lifetime, so :meth:`close` leaves it alone.
+        self.spill_dir = spill_dir
         self.peak_reserved_bytes = 0.0
         self.spill_bytes = 0.0
         self.spill_files = 0
@@ -236,6 +256,10 @@ class QueryResources:
         )
 
     def _spill_path(self) -> str:
+        if self.spill_dir is not None:
+            return os.path.join(
+                self.spill_dir, f"spill-{next(self._file_seq):05d}.bin"
+            )
         if self._tempdir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="fudj-spill-")
         return os.path.join(
@@ -315,6 +339,21 @@ class QueryResources:
             if ctx.tracer.enabled:
                 ctx.tracer.attribute("spill", units, calls=self.spill_files)
         return out
+
+    def absorb(self, stage_name: str, worker: int, stats: dict) -> None:
+        """Fold one pool task's worker-side accounting into this (the
+        coordinator's) accountant.  Reservations replay through
+        :meth:`_note_reservation` in their original order so the peak
+        high-water mark lands exactly where the serial backend puts it;
+        spill totals add up directly."""
+        for total in stats["reservations"]:
+            self._note_reservation(stage_name, worker, total)
+        spill = stats["spill"]
+        self.spill_bytes += spill["bytes"]
+        self.spill_files += spill["files"]
+        self.spill_units += spill["units"]
+        self.spilled_items += spill["spilled"]
+        self.pinned_items += spill["pinned"]
 
     def fold_into(self, metrics) -> None:
         """Copy the accountant's lifetime stats onto the query metrics."""

@@ -371,6 +371,7 @@ SYS_QUERIES_FIELDS = (
     ("tasks_retried", "int"), ("exchange_retries", "int"),
     ("stragglers", "int"), ("quarantined", "int"),
     ("recovery_seconds", "double"), ("checkpoint_bytes", "double"),
+    ("worker_restarts", "int"), ("heartbeat_misses", "int"),
     ("peak_reserved_bytes", "double"), ("spill_bytes", "double"),
     ("spill_files", "int"), ("queue_seconds", "double"),
     ("summarize_units", "double"), ("partition_units", "double"),
@@ -401,6 +402,12 @@ SYS_RESOURCES_FIELDS = (
     ("detail", "string"),
 )
 
+SYS_WORKERS_FIELDS = (
+    ("slot", "int"), ("pid", "int"), ("alive", "boolean"),
+    ("busy", "boolean"), ("tasks_ok", "int"), ("tasks_failed", "int"),
+    ("restarts", "int"), ("heartbeats", "int"), ("spill_dir", "string"),
+)
+
 #: Every registered ``sys.*`` table: name → field schema.  The docs
 #: linter checks each name here is documented in ``docs/``.
 SYS_TABLES = {
@@ -409,6 +416,7 @@ SYS_TABLES = {
     "sys.callbacks": SYS_CALLBACKS_FIELDS,
     "sys.metrics": SYS_METRICS_FIELDS,
     "sys.resources": SYS_RESOURCES_FIELDS,
+    "sys.workers": SYS_WORKERS_FIELDS,
 }
 
 
@@ -470,6 +478,19 @@ class Telemetry:
             "fudj_breaker_rejections_total",
             "Queries failed fast by an open circuit breaker.")
         self._breaker_seen = {"trips": 0, "rejections": 0}
+        self._worker_restarts = r.counter(
+            "fudj_worker_restarts_total",
+            "Worker processes that died mid-query and were respawned.")
+        self._heartbeat_misses = r.counter(
+            "fudj_worker_heartbeat_misses_total",
+            "Heartbeat deadlines missed by live workers holding a lease.")
+        self._speculations = r.counter(
+            "fudj_worker_speculations_total",
+            "Speculative task copies launched against real stragglers.")
+        self._degradations = r.counter(
+            "fudj_backend_degraded_total",
+            "Queries degraded from the process backend to serial.")
+        self._pool_seen = {"speculations": 0, "degradations": 0}
         self._stage_units = r.counter(
             "fudj_stage_units_total",
             "Work units charged, by stage operator label.", ("op",))
@@ -535,6 +556,8 @@ class Telemetry:
             self._quarantined.inc(m["records_quarantined"])
             self._recovery_seconds.inc(m["recovery_seconds"])
             self._checkpoint_bytes.inc(m["checkpoint_bytes"])
+            self._worker_restarts.inc(m["worker_restarts"])
+            self._heartbeat_misses.inc(m["heartbeat_misses"])
             self._spill_bytes.inc(m["spill_bytes"])
             self._spill_files.inc(m["spill_files"])
             for stage_row in entry["stages"]:
@@ -577,6 +600,8 @@ class Telemetry:
             "quarantined": 0,
             "recovery_seconds": 0.0,
             "checkpoint_bytes": 0.0,
+            "worker_restarts": 0,
+            "heartbeat_misses": 0,
             "peak_reserved_bytes": 0.0,
             "spill_bytes": 0.0,
             "spill_files": 0,
@@ -605,6 +630,8 @@ class Telemetry:
             entry["quarantined"] = m["records_quarantined"]
             entry["recovery_seconds"] = m["recovery_seconds"]
             entry["checkpoint_bytes"] = m["checkpoint_bytes"]
+            entry["worker_restarts"] = m["worker_restarts"]
+            entry["heartbeat_misses"] = m["heartbeat_misses"]
             entry["peak_reserved_bytes"] = m["peak_reserved_bytes"]
             entry["spill_bytes"] = m["spill_bytes"]
             entry["spill_files"] = m["spill_files"]
@@ -667,6 +694,23 @@ class Telemetry:
             self._breaker_rejections.inc(rejections)
         self._breaker_seen["trips"] = breaker.trips
         self._breaker_seen["rejections"] = breaker.rejections
+
+    def sync_pool(self, pool) -> None:
+        """Fold a worker pool's lifetime speculation/degradation counts
+        into the registry (idempotent — only deltas are added; restart
+        and heartbeat-miss counters come from the per-query metrics fold
+        instead, so they attribute to the query that suffered them)."""
+        if pool is None:
+            return
+        counters = pool.counters()
+        speculations = counters["speculations"] - self._pool_seen["speculations"]
+        if speculations > 0:
+            self._speculations.inc(speculations)
+        degradations = counters["degradations"] - self._pool_seen["degradations"]
+        if degradations > 0:
+            self._degradations.inc(degradations)
+        self._pool_seen["speculations"] = counters["speculations"]
+        self._pool_seen["degradations"] = counters["degradations"]
 
     # -- snapshots ------------------------------------------------------------
 
@@ -785,6 +829,15 @@ def resources_rows(db) -> list:
     return rows
 
 
+def workers_rows(db) -> list:
+    """Current worker-pool seats as ``sys.workers`` rows (empty on the
+    serial backend, or before the pool's first process-backend query)."""
+    pool = getattr(db, "worker_pool", None)
+    if pool is None:
+        return []
+    return pool.snapshot_rows()
+
+
 def register_sys_tables(db) -> None:
     """Register every ``sys.*`` virtual table on a database's catalog
     and cluster, backed by its :class:`Telemetry` instance."""
@@ -795,6 +848,7 @@ def register_sys_tables(db) -> None:
         "sys.callbacks": telemetry.callbacks_rows,
         "sys.metrics": telemetry.metrics_rows,
         "sys.resources": lambda: resources_rows(db),
+        "sys.workers": lambda: workers_rows(db),
     }
     for name, fields in SYS_TABLES.items():
         db.catalog.register_virtual_table(name, fields)

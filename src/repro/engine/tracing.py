@@ -47,8 +47,12 @@ import json
 import time
 from contextlib import contextmanager
 
-#: Span kinds, outermost to innermost.
-SPAN_KINDS = ("query", "operator", "phase", "stage", "exchange", "callback")
+#: Span kinds, outermost to innermost.  ``worker`` spans are emitted by
+#: the process backend under a ``stage`` span, one per pool task; their
+#: wall time lives in ``meta`` (tasks overlap, so summing them against
+#: the parent's wall clock would be meaningless).
+SPAN_KINDS = ("query", "operator", "phase", "stage", "exchange", "callback",
+              "worker")
 
 
 class Span:
@@ -433,6 +437,26 @@ class Tracer:
         span.wall_seconds += wall_seconds
         if not ok:
             span.errors += 1
+
+    def record_calls(self, name: str, calls: int, wall_seconds: float,
+                     errors: int = 0) -> None:
+        """Bulk form of :meth:`record_call` — replays a batch of callback
+        invocations measured elsewhere (the process backend aggregates
+        per-callback counts worker-side and folds them in here)."""
+        if not calls:
+            return
+        span = self.current.callback_child(name)
+        span.calls += calls
+        span.wall_seconds += wall_seconds
+        span.errors += errors
+
+    def worker_span(self, worker: int, meta: dict) -> None:
+        """Attach a ``worker`` span under the current span for one pool
+        task.  Carries diagnostics only (pid, attempts, wall time in
+        ``meta``) — zero units and zero wall, so every accounting
+        invariant is untouched."""
+        span = self.current.child(f"worker-{worker}", "worker")
+        span.meta.update(meta)
 
     def attribute(self, name: str, units: float, calls: int = 0) -> None:
         """Move ``units`` of already-charged work from the current span

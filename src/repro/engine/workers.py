@@ -1,0 +1,1480 @@
+"""Supervised process-pool backend: real workers that crash and recover.
+
+The serial backend *simulates* a cluster: per-worker tasks run inline and
+faults are charged through the cost model.  This module is the physical
+half — ``Database(backend="process")`` ships each COMBINE partition task
+to a pool of real worker processes, supervised by the coordinator:
+
+- **Leases + heartbeats.**  Every dispatched task is a lease; workers
+  heartbeat every :data:`HEARTBEAT_INTERVAL` seconds while computing, and
+  a silent-but-alive worker is flagged (``heartbeat_misses``).
+- **Crash detection + re-dispatch.**  A worker process that dies
+  mid-lease (``SIGKILL`` in tests, or a planned kill under
+  ``FaultPlan(real=True)``) is detected by the supervisor; its task is
+  re-dispatched and the loss charged through the same retry/backoff
+  arithmetic the serial backend uses.
+- **Speculative re-execution.**  A task overrunning
+  ``straggler_detect_factor`` times the median completed-task time (or
+  missing heartbeats) gets a speculative copy on an idle worker; first
+  result wins.
+- **Bounded restart budget.**  Worker respawns per query are capped;
+  past the cap the pool marks itself unhealthy and raises
+  :class:`~repro.errors.WorkerPoolError`, which the engine catches to
+  degrade the query to the serial path.
+
+Determinism contract: result rows are byte-identical to the serial
+backend and, under a :class:`~repro.engine.faults.FaultPlan`, so is the
+cost accounting.  Workers execute the task *kernels* (mirrors of the
+serial combine task bodies) and export an ordered ledger of everything a
+serial task would have done to shared state — charges, callback calls,
+trace attributions, quarantines, breaker events, memory reservations.
+The coordinator replays that ledger through the real metrics/tracer/
+breaker/accountant, re-running the serial retry loop per planned fault
+roll, so every float lands in the same order as the serial backend.
+
+Only COMBINE tasks ship (they dominate FUDJ cost and close over nothing
+but picklable state); SUMMARIZE/PARTITION and the exchanges stay on the
+coordinator.  Anything unshippable — an unpicklable join, a serde
+failure, a non-callback worker error — makes :func:`run_combine` return
+None and the caller falls through to the (unchanged) serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from collections import defaultdict, deque
+from itertools import count
+from multiprocessing import connection as mp_connection
+
+from repro.engine.faults import FaultPlan, stage_key
+from repro.engine.metrics import QueryMetrics
+from repro.engine.record import Record
+from repro.engine.resources import (
+    KeyedEntrySpillCodec,
+    QueryResources,
+    _rid_of,
+)
+from repro.errors import (
+    FudjCallbackError,
+    SerdeError,
+    TaskFailedError,
+    WorkerPoolError,
+)
+from repro.serde.serializer import _I64, deserialize_value, serialize_value
+
+__all__ = ["WorkerPool", "default_pool_size", "run_combine"]
+
+#: Seconds between worker heartbeats while a task lease is held.
+HEARTBEAT_INTERVAL = 0.05
+#: Heartbeat intervals of silence before a live worker is flagged.
+HEARTBEAT_MISS_LIMIT = 10
+#: Floor (seconds) under which no task is considered a straggler — keeps
+#: speculation from firing on scheduling jitter in tiny queries.
+SPECULATION_FLOOR = 0.08
+#: How long a worker under ``FaultPlan(real=True)`` genuinely stalls when
+#: its straggler roll fires — long enough to trip detection, short enough
+#: for tests.
+REAL_STRAGGLER_SLEEP = 0.3
+#: Supervisor poll granularity (seconds) while waiting on worker pipes.
+WAIT_TIMEOUT = 0.05
+
+#: Backoff schedule for *unplanned* worker deaths (no fault plan active):
+#: the default plan's capped exponential, same arithmetic as injected
+#: crashes so a real SIGKILL is charged like a simulated one.
+_DEFAULT_PLAN = FaultPlan()
+
+
+def default_pool_size(cluster) -> int:
+    """Worker processes to run for ``cluster``: bounded by its partition
+    count, its core count, the machine, and a small cap (fork + pickle
+    overhead swamps any win past a few local processes)."""
+    cores = getattr(cluster, "cores", None) or 1
+    return max(1, min(cluster.num_partitions, cores, os.cpu_count() or 1, 4))
+
+
+# -- entry/row transport through the serde layer ------------------------------
+#
+# COMBINE inputs are (bucket_id, external_key, record) triples.  Records
+# ship as serde frames (the same wire format the spill codecs use):
+# _I64(rid) _I64(bucket) + boxed values.  Keys ride alongside through the
+# body pickle — they are plain external Python values that callbacks must
+# see unchanged, so re-boxing them is not an option.  Anything the serde
+# layer cannot express falls back to pickling the entries wholesale, and
+# if even that fails the caller degrades to the serial path.
+
+
+def _pack_entries(entries: list) -> dict:
+    schema = None
+    frames = []
+    keys = []
+    for bucket, key, record in entries:
+        if not isinstance(bucket, int) or not isinstance(record, Record):
+            return {"codec": "pickle", "entries": entries}
+        if schema is None:
+            schema = record.schema
+        elif record.schema != schema:
+            return {"codec": "pickle", "entries": entries}
+        buf = bytearray(_I64.pack(_rid_of(record)))
+        buf += _I64.pack(bucket)
+        try:
+            for value in record.values:
+                serialize_value(value, buf)
+        except SerdeError:
+            return {"codec": "pickle", "entries": entries}
+        frames.append(bytes(buf))
+        keys.append(key)
+    return {"codec": "serde", "schema": schema, "frames": frames, "keys": keys}
+
+
+def _unpack_entries(packed: dict) -> list:
+    if packed["codec"] == "pickle":
+        return packed["entries"]
+    schema = packed["schema"]
+    entries = []
+    for frame, key in zip(packed["frames"], packed["keys"]):
+        rid = _I64.unpack_from(frame, 0)[0]
+        bucket = _I64.unpack_from(frame, _I64.size)[0]
+        offset = 2 * _I64.size
+        values = []
+        while offset < len(frame):
+            value, offset = deserialize_value(frame, offset)
+            values.append(value)
+        record = Record(schema, values)
+        record.rid = rid
+        entries.append((bucket, key, record))
+    return entries
+
+
+def _pack_rows(rows: list, tagged: bool) -> dict:
+    frames = []
+    ids = [] if tagged else None
+    for row in rows:
+        if tagged:
+            pair_id, record = row
+        else:
+            record = row
+        buf = bytearray()
+        try:
+            for value in record.values:
+                serialize_value(value, buf)
+        except SerdeError:
+            return {"codec": "pickle", "rows": rows}
+        frames.append(bytes(buf))
+        if tagged:
+            ids.append(pair_id)
+    return {"codec": "serde", "frames": frames, "ids": ids}
+
+
+def _unpack_rows(packed: dict, out_schema, tagged: bool) -> list:
+    if packed["codec"] == "pickle":
+        return packed["rows"]
+    rows = []
+    ids = packed["ids"]
+    for index, frame in enumerate(packed["frames"]):
+        offset = 0
+        values = []
+        while offset < len(frame):
+            value, offset = deserialize_value(frame, offset)
+            values.append(value)
+        record = Record(out_schema, values)
+        rows.append((ids[index], record) if tagged else record)
+    return rows
+
+
+# -- portable error transport -------------------------------------------------
+#
+# FudjCallbackError's 3-arg __init__ breaks default exception pickling, and
+# shipping arbitrary user exceptions across the pipe is a liability anyway.
+# Errors travel as plain descriptors; callback errors are rebuilt on the
+# coordinator with a byte-identical message to the serial backend's.
+
+
+def _describe_error(exc: BaseException) -> dict:
+    if isinstance(exc, FudjCallbackError):
+        return {
+            "kind": "callback",
+            "join": exc.join_name,
+            "phase": exc.phase,
+            "type": type(exc.original).__name__,
+            "msg": str(exc.original),
+        }
+    return {"kind": "generic", "type": type(exc).__name__, "msg": str(exc)}
+
+
+def _rebuild_error(desc: dict) -> FudjCallbackError:
+    err = FudjCallbackError.__new__(FudjCallbackError)
+    Exception.__init__(
+        err,
+        f"FUDJ {desc['join']!r} failed in {desc['phase']}: "
+        f"{desc['type']}: {desc['msg']}",
+    )
+    err.join_name = desc["join"]
+    err.phase = desc["phase"]
+    err.original = RuntimeError(desc["msg"])
+    return err
+
+
+# -- the worker-side execution site -------------------------------------------
+
+
+class _WorkerResources(QueryResources):
+    """The worker's private accountant: same spill machinery, plus an
+    ordered log of reservations so the coordinator can replay them
+    through its own accountant in the serial order."""
+
+    def __init__(self, cost_model, enforce: bool, spill_dir: str) -> None:
+        super().__init__(cost_model, enforce=enforce, spill_dir=spill_dir)
+        self.reservations = []
+
+    def _note_reservation(self, stage_name, worker, num_bytes) -> None:
+        self.reservations.append(num_bytes)
+        super()._note_reservation(stage_name, worker, num_bytes)
+
+    def export(self) -> dict:
+        return {
+            "reservations": list(self.reservations),
+            "spill": {
+                "bytes": self.spill_bytes,
+                "files": self.spill_files,
+                "units": self.spill_units,
+                "spilled": self.spilled_items,
+                "pinned": self.pinned_items,
+            },
+        }
+
+
+class _TracerShim:
+    """Just enough tracer surface for :meth:`QueryResources.admit`."""
+
+    __slots__ = ("enabled", "_site")
+
+    def __init__(self, site, enabled: bool) -> None:
+        self.enabled = enabled
+        self._site = site
+
+    def attribute(self, name: str, units: float, calls: int = 0) -> None:
+        self._site.attribute(name, units, calls=calls)
+
+
+class _StageShim:
+    """Just enough stage surface for :meth:`QueryResources.admit`."""
+
+    __slots__ = ("name", "_site")
+
+    def __init__(self, site, name: str) -> None:
+        self.name = name
+        self._site = site
+
+    def charge(self, worker: int, units: float) -> None:
+        self._site.charge(units)
+
+
+class _WorkerSite:
+    """One task's stand-in for the execution context inside a worker.
+
+    Where a serial task charges the stage, records a callback, attributes
+    trace units, quarantines a record, or touches the breaker, the kernel
+    does the same thing against this site — which only *logs* the event,
+    in order.  The export ships back to the coordinator, which replays it
+    against the real objects (see :func:`_apply_task`), so the arithmetic
+    and its float-summation order match the serial backend exactly.
+    """
+
+    def __init__(self, spec: dict, spill_dir: str) -> None:
+        self.join = spec["join"]
+        self.join_name = spec["join_name"]
+        self.dedup = spec["dedup"]
+        self.pplan = spec["pplan"]
+        self.out_schema = spec["out_schema"]
+        self.v_cost = spec["v_cost"]
+        self.tag = spec["tag"]
+        self.policy = spec["policy"]
+        self.traced = spec["traced"]
+        self.num = spec["num"]
+        self.enforce = spec["enforce"]
+        self.model = spec["model"]
+        self.translate = spec["translate"]
+        self.worker = spec["worker"]
+        self.charges = []
+        self.comparisons = 0
+        self.attrs = []
+        self.calls = {}
+        self.child_order = []
+        self._child_seen = set()
+        self.quarantined = 0
+        self.quarantine_log = []
+        self.key_conversions = 0
+        self.breaker_failures = 0
+        self.breaker_ok = False
+        self.resources = _WorkerResources(self.model, self.enforce, spill_dir)
+        self.tracer = _TracerShim(self, self.traced)
+        self._stage = _StageShim(self, "worker")
+
+    # -- event log -----------------------------------------------------------
+
+    def charge(self, units: float) -> None:
+        self.charges.append(units)
+
+    def _touch_child(self, name: str) -> None:
+        # First-touch order of callback spans, so the coordinator creates
+        # trace children in the same order the serial backend would.
+        if name not in self._child_seen:
+            self._child_seen.add(name)
+            self.child_order.append(name)
+
+    def attribute(self, name: str, units: float, calls: int = 0) -> None:
+        self._touch_child(name)
+        self.attrs.append((name, units, calls))
+
+    def note_call(self, name: str, wall: float, ok: bool = True) -> None:
+        self._touch_child(name)
+        entry = self.calls.get(name)
+        if entry is None:
+            entry = [0, 0, 0.0]
+            self.calls[name] = entry
+        entry[0] += 1
+        if not ok:
+            entry[1] += 1
+        entry[2] += wall
+
+    # -- context mirrors -----------------------------------------------------
+
+    def admit(self, items: list, price: bool = True) -> list:
+        codec = KeyedEntrySpillCodec(items)
+        if self.translate:
+            # The serial codec recomputes each restored entry's key
+            # through the translation layer, which counts one conversion
+            # per decode; the cached-key lookup must stay count-parity.
+            inner = codec.rekey
+
+            def rekey(record):
+                self.key_conversions += 1
+                return inner(record)
+
+            codec.rekey = rekey
+        return self.resources.admit(
+            self, self._stage, self.worker, items, codec, price=price,
+        )
+
+    def guard_record(self, phase: str, fn, *args, detail=None):
+        started = time.perf_counter() if self.traced else 0.0
+        try:
+            result = fn(*args)
+        except Exception as exc:
+            if self.traced:
+                self.note_call(phase, time.perf_counter() - started, ok=False)
+            self.breaker_failures += 1
+            if self.policy == "fail":
+                if isinstance(exc, FudjCallbackError):
+                    raise
+                raise FudjCallbackError(self.join_name, phase, exc) from exc
+            if self.policy == "quarantine":
+                self.quarantined += 1
+                if len(self.quarantine_log) < QueryMetrics.MAX_QUARANTINE_REPORT:
+                    self.quarantine_log.append((
+                        phase,
+                        f"{type(exc).__name__}: {exc}",
+                        None if detail is None else repr(detail),
+                    ))
+            else:  # skip
+                self.quarantined += 1
+            return False, None
+        if self.traced:
+            self.note_call(phase, time.perf_counter() - started)
+        self.breaker_ok = True
+        return True, result
+
+    def safe_verify(self, key1, key2) -> bool:
+        ok, matched = self.guard_record(
+            "verify", self.join.verify, key1, key2, self.pplan,
+            detail=(key1, key2),
+        )
+        return bool(matched) if ok else False
+
+    def safe_match(self, bucket1, bucket2) -> bool:
+        ok, matched = self.guard_record(
+            "match", self.join.match, bucket1, bucket2,
+            detail=(bucket1, bucket2),
+        )
+        return bool(matched) if ok else False
+
+    def local_join_pairs(self, keys1, keys2):
+        if not self.traced:
+            return self.join.local_join(keys1, keys2, self.pplan)
+        started = time.perf_counter()
+        pairs = list(self.join.local_join(keys1, keys2, self.pplan))
+        self.note_call("local_join", time.perf_counter() - started)
+        return pairs
+
+    def export(self) -> dict:
+        return {
+            "charges": self.charges,
+            "comparisons": self.comparisons,
+            "attrs": self.attrs,
+            "calls": [(name, c[0], c[1], c[2])
+                      for name, c in self.calls.items()],
+            "child_order": self.child_order,
+            "quarantined": self.quarantined,
+            "quarantine_log": self.quarantine_log,
+            "key_conversions": self.key_conversions,
+            "breaker_failures": self.breaker_failures,
+            "breaker_ok": self.breaker_ok,
+            "resources": self.resources.export(),
+        }
+
+
+def _tag_pair(record1, record2, joined):
+    """Worker-side pair tagging: every shipped record carries a rid (the
+    coordinator assigns them before packing), so the pair identity is the
+    rid pair — stable across workers and spill round-trips."""
+    return ((record1.rid, record2.rid), joined)
+
+
+# -- worker-side task kernels -------------------------------------------------
+#
+# Deliberate duplication: each kernel mirrors the corresponding serial
+# task closure in operators/fudj_join.py line for line — same loops, same
+# charge expressions, same charge *order* — with the site standing in for
+# (ctx, stage).  Duplicating instead of refactoring the serial closures
+# onto a shared site keeps the serial path byte-for-byte untouched; the
+# property tests in tests/test_workers.py enforce that the two copies
+# never drift.
+
+
+def _single_task(site: _WorkerSite, left_entries: list,
+                 right_entries: list) -> list:
+    model = site.model
+    build = site.admit(left_entries)
+    table = defaultdict(list)
+    for bucket_id, key, record in build:
+        table[bucket_id].append((key, record))
+    site.charge(len(build) * model.hash_op)
+    rows = []
+    verify_units = 0.0
+    dedup_checks = 0
+    tag = _tag_pair if site.tag else None
+    if site.join.has_local_join():
+        rows, dedup_checks, verify_units = _local_buckets(
+            site, table, right_entries
+        )
+    else:
+        for bucket_id, key2, record2 in right_entries:
+            for key1, record1 in table.get(bucket_id, ()):
+                dedup_checks += 1
+                if not site.dedup.keep_local(
+                    site.join, bucket_id, key1, bucket_id, key2, site.pplan
+                ):
+                    continue
+                matched = site.safe_verify(key1, key2)
+                verify_units += model.predicate_units(site.v_cost, matched)
+                if not matched:
+                    continue
+                joined = record1.concat(record2, site.out_schema)
+                rows.append(tag(record1, record2, joined) if tag else joined)
+    site.charge(
+        len(right_entries) * model.hash_op
+        + verify_units
+        + dedup_checks * model.comparison
+    )
+    site.comparisons += dedup_checks
+    if site.traced:
+        site.attribute("verify", verify_units)
+        site.attribute(
+            "dedup", dedup_checks * model.comparison, calls=dedup_checks
+        )
+    return rows
+
+
+def _local_buckets(site: _WorkerSite, left_table, right_entries):
+    """Mirror of ``FudjJoin._join_buckets_local``."""
+    model = site.model
+    right_table = defaultdict(list)
+    for bucket_id, key, record in right_entries:
+        right_table[bucket_id].append((key, record))
+    rows = []
+    candidates = 0
+    verify_units = 0.0
+    setup_keys = 0
+    for bucket_id, right_bucket in right_table.items():
+        left_bucket = left_table.get(bucket_id)
+        if not left_bucket:
+            continue
+        keys1 = [key for key, _ in left_bucket]
+        keys2 = [key for key, _ in right_bucket]
+        setup_keys += len(keys1) + len(keys2)
+        for i, j in site.local_join_pairs(keys1, keys2):
+            candidates += 1
+            key1, record1 = left_bucket[i]
+            key2, record2 = right_bucket[j]
+            if not site.dedup.keep_local(
+                site.join, bucket_id, key1, bucket_id, key2, site.pplan
+            ):
+                continue
+            matched = site.safe_verify(key1, key2)
+            verify_units += model.predicate_units(site.v_cost, matched)
+            if not matched:
+                continue
+            joined = record1.concat(record2, site.out_schema)
+            rows.append(
+                _tag_pair(record1, record2, joined) if site.tag else joined
+            )
+    verify_units += setup_keys * model.comparison
+    return rows, candidates, verify_units
+
+
+def _theta_task(site: _WorkerSite, left_entries: list,
+                broadcast: list) -> list:
+    model = site.model
+    broadcast = site.admit(broadcast)
+    site.charge((len(left_entries) + len(broadcast)) * model.hash_op)
+    rows = []
+    match_checks = 0
+    verify_units = 0.0
+    dedup_checks = 0
+    for b1, key1, record1 in left_entries:
+        for b2, key2, record2 in broadcast:
+            match_checks += 1
+            if not site.safe_match(b1, b2):
+                continue
+            dedup_checks += 1
+            if not site.dedup.keep_local(
+                site.join, b1, key1, b2, key2, site.pplan
+            ):
+                continue
+            matched = site.safe_verify(key1, key2)
+            verify_units += model.predicate_units(site.v_cost, matched)
+            if not matched:
+                continue
+            joined = record1.concat(record2, site.out_schema)
+            rows.append(
+                _tag_pair(record1, record2, joined) if site.tag else joined
+            )
+    site.charge(
+        match_checks * model.match_op
+        + verify_units
+        + dedup_checks * model.comparison
+    )
+    site.comparisons += dedup_checks
+    if site.traced:
+        site.attribute("match", match_checks * model.match_op)
+        site.attribute("verify", verify_units)
+        site.attribute(
+            "dedup", dedup_checks * model.comparison, calls=dedup_checks
+        )
+    return rows
+
+
+def _partitioned_task(site: _WorkerSite, local_left: list,
+                      local_right: list) -> list:
+    model = site.model
+    join = site.join
+    worker = site.worker
+    num = site.num
+    pplan = site.pplan
+    if site.enforce:
+        local_left = site.admit(local_left, price=False)
+        local_right = site.admit(local_right, price=False)
+    site.charge((len(local_left) + len(local_right)) * model.hash_op)
+    rows = []
+    match_checks = 0
+    verify_units = 0.0
+    dedup_checks = 0
+    part_cache = {}
+
+    def parts_of(bucket_id):
+        found = part_cache.get(bucket_id)
+        if found is None:
+            found = set(join.partition_buckets(bucket_id, num, pplan))
+            part_cache[bucket_id] = found
+        return found
+
+    if join.has_local_join():
+        keys1 = [entry[1] for entry in local_left]
+        keys2 = [entry[1] for entry in local_right]
+        match_checks = len(keys1) + len(keys2)  # sort/setup charge
+        for i, j in site.local_join_pairs(keys1, keys2):
+            b1, key1, record1 = local_left[i]
+            b2, key2, record2 = local_right[j]
+            if not site.safe_match(b1, b2):
+                continue
+            shared = parts_of(b1) & parts_of(b2)
+            if min(shared) != worker:
+                continue
+            dedup_checks += 1
+            if not site.dedup.keep_local(join, b1, key1, b2, key2, pplan):
+                continue
+            matched = site.safe_verify(key1, key2)
+            verify_units += model.predicate_units(site.v_cost, matched)
+            if not matched:
+                continue
+            joined = record1.concat(record2, site.out_schema)
+            rows.append(
+                _tag_pair(record1, record2, joined) if site.tag else joined
+            )
+    else:
+        for b1, key1, record1 in local_left:
+            for b2, key2, record2 in local_right:
+                match_checks += 1
+                if not site.safe_match(b1, b2):
+                    continue
+                shared = parts_of(b1) & parts_of(b2)
+                if min(shared) != worker:
+                    continue  # another partition owns this pair
+                dedup_checks += 1
+                if not site.dedup.keep_local(join, b1, key1, b2, key2, pplan):
+                    continue
+                matched = site.safe_verify(key1, key2)
+                verify_units += model.predicate_units(site.v_cost, matched)
+                if not matched:
+                    continue
+                joined = record1.concat(record2, site.out_schema)
+                rows.append(
+                    _tag_pair(record1, record2, joined) if site.tag else joined
+                )
+    site.charge(
+        match_checks * model.match_op
+        + verify_units
+        + dedup_checks * model.comparison
+    )
+    site.comparisons += dedup_checks
+    if site.traced:
+        site.attribute("match", match_checks * model.match_op)
+        site.attribute("verify", verify_units)
+        site.attribute(
+            "dedup", dedup_checks * model.comparison, calls=dedup_checks
+        )
+    return rows
+
+
+_KERNELS = {
+    "single": _single_task,
+    "theta": _theta_task,
+    "partitioned": _partitioned_task,
+}
+
+
+def _run_body(body_bytes: bytes, spill_dir: str):
+    """Unpack and execute one task body inside a worker process."""
+    try:
+        body = pickle.loads(body_bytes)
+        spec = body["spec"]
+        site = _WorkerSite(spec, spill_dir)
+    except Exception as exc:
+        return "err", {"error": _describe_error(exc), "partial": None}
+    try:
+        left = _unpack_entries(body["left"])
+        right = _unpack_entries(body["right"])
+        rows = _KERNELS[spec["kind"]](site, left, right)
+        payload = {"rows": _pack_rows(rows, site.tag), "site": site.export()}
+        return "ok", payload
+    except Exception as exc:
+        return "err", {"error": _describe_error(exc), "partial": site.export()}
+
+
+def _worker_main(parent_conn, conn, slot_index: int, spill_dir: str) -> None:
+    """Worker process entry point.
+
+    Protocol (all over one duplex pipe): the supervisor sends
+    ``("task", uid, header)`` followed by the raw pickled body, or
+    ``("stop",)``; the worker sends ``("hb", slot, uid)`` heartbeats from
+    a daemon thread while computing, then ``(status, uid, payload, pid)``.
+    A planned kill (``header["kill"]``) fires *after* the compute and
+    *before* the send — the work is genuinely wasted, exactly the crash
+    the serial model charges for.
+    """
+    try:
+        parent_conn.close()  # our inherited copy of the supervisor's end
+    except Exception:
+        pass
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    send_lock = threading.Lock()
+    current = {"task": None}
+
+    def heartbeat() -> None:
+        while True:
+            time.sleep(HEARTBEAT_INTERVAL)
+            uid = current["task"]
+            if uid is None:
+                continue
+            try:
+                with send_lock:
+                    conn.send(("hb", slot_index, uid))
+            except Exception:
+                return
+
+    threading.Thread(target=heartbeat, daemon=True).start()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)
+        if msg[0] == "stop":
+            os._exit(0)
+        _, uid, header = msg
+        try:
+            body_bytes = conn.recv_bytes()
+        except (EOFError, OSError):
+            os._exit(0)
+        current["task"] = uid
+        status, payload = _run_body(body_bytes, spill_dir)
+        if header.get("kill"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        sleep = header.get("sleep", 0.0)
+        if sleep:
+            time.sleep(sleep)
+        current["task"] = None
+        try:
+            blob = pickle.dumps(
+                (status, uid, payload, os.getpid()),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            blob = pickle.dumps(
+                ("err", uid,
+                 {"error": _describe_error(exc), "partial": None},
+                 os.getpid()),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        try:
+            with send_lock:
+                conn.send_bytes(blob)
+        except (BrokenPipeError, OSError):
+            os._exit(0)
+
+
+# -- the supervisor -----------------------------------------------------------
+
+
+class _Slot:
+    """One worker seat: the live process plus its lease bookkeeping."""
+
+    __slots__ = ("index", "proc", "conn", "spill_dir", "busy", "task_id",
+                 "dispatched_at", "last_heartbeat", "hb_flagged", "tasks_ok",
+                 "tasks_failed", "restarts", "heartbeats")
+
+    def __init__(self, index: int, proc, conn, spill_dir: str) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.spill_dir = spill_dir
+        self.busy = False
+        self.task_id = None
+        self.dispatched_at = 0.0
+        self.last_heartbeat = 0.0
+        self.hb_flagged = False
+        self.tasks_ok = 0
+        self.tasks_failed = 0
+        self.restarts = 0
+        self.heartbeats = 0
+
+
+class _TaskState:
+    """Supervisor-side state of one task across attempts and copies."""
+
+    __slots__ = ("uid", "header_fn", "body", "kills", "attempt", "deaths",
+                 "hb_misses", "running", "first_dispatch", "done",
+                 "speculated")
+
+    def __init__(self, uid: int, header_fn, body: bytes, kills: int) -> None:
+        self.uid = uid
+        self.header_fn = header_fn
+        self.body = body
+        self.kills = kills
+        self.attempt = 0
+        self.deaths = 0
+        self.hb_misses = 0
+        self.running = set()
+        self.first_dispatch = None
+        self.done = False
+        self.speculated = False
+
+
+class WorkerPool:
+    """A supervised pool of real worker processes.
+
+    The pool is long-lived (one per :class:`~repro.database.Database`);
+    each query hands it a batch of tasks via :meth:`run_tasks`.  Task ids
+    are globally unique, so results from tasks abandoned by a cancelled
+    query are recognized and dropped whenever they eventually surface.
+    """
+
+    def __init__(self, size: int, restart_budget: int = None) -> None:
+        self.size = max(1, int(size))
+        self.restart_budget = (
+            restart_budget if restart_budget is not None
+            else max(4, 2 * self.size)
+        )
+        self._mp = _mp_context()
+        self.spill_root = tempfile.mkdtemp(prefix="fudj-workers-")
+        self.healthy = True
+        self.restarts_total = 0
+        self.heartbeat_misses_total = 0
+        self.speculations_total = 0
+        self.degradations_total = 0
+        self.tasks_ok_total = 0
+        self.tasks_failed_total = 0
+        self._task_seq = count(1)
+        self._closed = False
+        self._slots = [self._spawn(i) for i in range(self.size)]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index: int) -> _Slot:
+        spill_dir = os.path.join(self.spill_root, f"w{index}")
+        os.makedirs(spill_dir, exist_ok=True)
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(parent_conn, child_conn, index, spill_dir),
+            name=f"fudj-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _Slot(index, proc, parent_conn, spill_dir)
+
+    def _respawn(self, old: _Slot) -> _Slot:
+        slot = self._spawn(old.index)
+        slot.restarts = old.restarts + 1
+        slot.tasks_ok = old.tasks_ok
+        slot.tasks_failed = old.tasks_failed
+        slot.heartbeats = old.heartbeats
+        return slot
+
+    @staticmethod
+    def _retire(slot: _Slot) -> _Slot:
+        slot.proc = None
+        slot.busy = False
+        slot.task_id = None
+        return slot
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful, then kill) and drop the spill
+        tree.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.healthy = False
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            slot.proc.join(timeout=1.0)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=1.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+            slot.proc = None
+        shutil.rmtree(self.spill_root, ignore_errors=True)
+
+    # -- between-query maintenance -------------------------------------------
+
+    def tick(self) -> None:
+        """Cheap upkeep between queries (exchanges call it through the
+        context): recycle workers that died while idle and drain stale
+        heartbeats/results left over from abandoned tasks."""
+        if self._closed:
+            return
+        for slot in list(self._slots):
+            if slot.proc is None:
+                continue
+            if not slot.proc.is_alive():
+                try:
+                    slot.conn.close()
+                except OSError:
+                    pass
+                if self.healthy:
+                    self.restarts_total += 1
+                    self._slots[slot.index] = self._respawn(slot)
+                else:
+                    self._retire(slot)
+                continue
+            try:
+                while slot.conn.poll():
+                    msg = slot.conn.recv()
+                    if msg[0] == "hb":
+                        slot.heartbeats += 1
+                    else:
+                        slot.busy = False
+                        slot.task_id = None
+            except (EOFError, OSError):
+                pass
+
+    def cancel_active(self) -> None:
+        """Abandon whatever the workers are doing (query timeout or
+        admission error).  Workers cannot be interrupted mid-kernel, but
+        their task ids are dead to the supervisor: late results are
+        dropped by the next drain and the slots become reusable."""
+        self.tick()
+
+    # -- the event loop ------------------------------------------------------
+
+    def run_tasks(self, tasks: list, check_cancel=None,
+                  extra_restarts: int = 0, detect_factor: float = 2.0) -> list:
+        """Run a batch of tasks, supervising leases end to end.
+
+        ``tasks`` is a list of ``{"header_fn", "body", "kills"}`` dicts;
+        ``header_fn(attempt, speculative)`` builds the per-dispatch header
+        (planned kills/stalls for ``FaultPlan(real=True)``).  Returns one
+        outcome dict per task, in order.  ``extra_restarts`` widens the
+        respawn budget by the number of *planned* kills so injected
+        faults never exhaust it.  Raises :class:`WorkerPoolError` (and
+        marks the pool unhealthy) when the budget runs out.
+        """
+        if self._closed or not self.healthy:
+            raise WorkerPoolError("worker pool is not healthy")
+        states = {}
+        order = []
+        for task in tasks:
+            uid = next(self._task_seq)
+            order.append(uid)
+            states[uid] = _TaskState(
+                uid, task["header_fn"], task["body"], task.get("kills", 0)
+            )
+        pending = deque(order)
+        completed = {}
+        durations = []
+        budget = self.restart_budget + extra_restarts
+        spent = 0
+
+        def live_slots():
+            return [s for s in self._slots
+                    if s.proc is not None and s.proc.is_alive()]
+
+        def finish(slot, uid, status, payload, pid, now):
+            st = states[uid]
+            st.done = True
+            if status == "ok":
+                slot.tasks_ok += 1
+                self.tasks_ok_total += 1
+            else:
+                slot.tasks_failed += 1
+                self.tasks_failed_total += 1
+            wall = now - (st.first_dispatch or now)
+            durations.append(wall)
+            completed[uid] = {
+                "status": status,
+                "payload": payload,
+                "deaths": st.deaths,
+                "hb_misses": st.hb_misses,
+                "attempts": st.attempt + 1,
+                "wall": wall,
+                "pid": pid,
+                "speculated": st.speculated,
+            }
+
+        def handle_message(slot, msg, now):
+            if msg[0] == "hb":
+                slot.last_heartbeat = now
+                slot.heartbeats += 1
+                return
+            status, uid, payload, pid = msg
+            if slot.task_id == uid:
+                slot.busy = False
+                slot.task_id = None
+            st = states.get(uid)
+            if st is None:
+                return  # stale result from an abandoned query — drop
+            st.running.discard(slot.index)
+            if uid not in completed:
+                finish(slot, uid, status, payload, pid, now)
+
+        def pump(slot, now):
+            while True:
+                try:
+                    if not slot.conn.poll():
+                        return
+                    msg = slot.conn.recv()
+                except (EOFError, OSError):
+                    return
+                handle_message(slot, msg, now)
+
+        def dispatch(slot, st, speculative, now):
+            header = st.header_fn(st.attempt, speculative)
+            try:
+                slot.conn.send(("task", st.uid, header))
+                slot.conn.send_bytes(st.body)
+            except (BrokenPipeError, OSError):
+                return False  # died since the liveness check; reaped next round
+            slot.busy = True
+            slot.task_id = st.uid
+            slot.dispatched_at = now
+            slot.last_heartbeat = now
+            slot.hb_flagged = False
+            st.running.add(slot.index)
+            if st.first_dispatch is None:
+                st.first_dispatch = now
+            return True
+
+        while len(completed) < len(states):
+            if check_cancel is not None:
+                check_cancel()
+            now = time.monotonic()
+            # 1. Reap dead workers: requeue their leases, respawn within
+            #    the budget, retire the seat past it.
+            for i, slot in enumerate(self._slots):
+                if slot.proc is None or slot.proc.is_alive():
+                    continue
+                pump(slot, now)  # a result may have landed just before death
+                uid = slot.task_id
+                if uid is not None:
+                    st = states.get(uid)
+                    if st is not None:
+                        st.running.discard(slot.index)
+                        if not st.done:
+                            st.deaths += 1
+                            if not st.running:
+                                st.attempt += 1
+                                pending.append(uid)
+                slot.busy = False
+                slot.task_id = None
+                try:
+                    slot.conn.close()
+                except OSError:
+                    pass
+                slot.proc.join(timeout=0.1)
+                if spent < budget:
+                    spent += 1
+                    self.restarts_total += 1
+                    self._slots[i] = self._respawn(slot)
+                else:
+                    self._slots[i] = self._retire(slot)
+            # Degrade only when every seat is *retired* (its respawn was
+            # refused by the budget).  A seat that is merely dead right
+            # now — a worker can die between the reap pass and this
+            # check — is respawned by the next reap within budget.
+            if all(slot.proc is None for slot in self._slots):
+                self.healthy = False
+                self.degradations_total += 1
+                raise WorkerPoolError(
+                    "no live worker remains and the restart budget "
+                    f"({budget}) is exhausted"
+                )
+            # 2. Dispatch pending leases to idle live workers.
+            idle = [s for s in live_slots() if not s.busy]
+            while pending and idle:
+                uid = pending.popleft()
+                st = states[uid]
+                if st.done or st.running:
+                    continue
+                if not dispatch(idle.pop(), st, False, now):
+                    pending.appendleft(uid)
+                    break
+            # 3. Speculation: one extra copy for a task overrunning the
+            #    detect factor (vs the median finished task) or missing
+            #    heartbeats — but only after its planned kills played out,
+            #    so injected faults stay deterministic.
+            median = sorted(durations)[len(durations) // 2] if durations else None
+            for uid, st in states.items():
+                if st.done or st.speculated or len(st.running) != 1:
+                    continue
+                if st.attempt < st.kills:
+                    continue
+                slot = self._slots[next(iter(st.running))]
+                if not slot.busy or slot.task_id != uid:
+                    continue
+                overdue = (
+                    median is not None
+                    and now - slot.dispatched_at
+                    > max(SPECULATION_FLOOR, detect_factor * median)
+                )
+                if not (overdue or slot.hb_flagged):
+                    continue
+                idle = [s for s in live_slots() if not s.busy]
+                if not idle:
+                    break
+                if dispatch(idle[0], st, True, now):
+                    st.speculated = True
+                    self.speculations_total += 1
+            # 4. Wait on busy pipes, drain whatever arrived.
+            watch = [s for s in live_slots() if s.busy]
+            if watch:
+                try:
+                    ready = mp_connection.wait(
+                        [s.conn for s in watch], timeout=WAIT_TIMEOUT
+                    )
+                except OSError:
+                    ready = []
+                by_conn = {s.conn: s for s in watch}
+                now = time.monotonic()
+                for conn in ready:
+                    pump(by_conn[conn], now)
+            elif len(completed) < len(states):
+                time.sleep(0.002)
+            # 5. Heartbeat-miss detection (once per lease).
+            now = time.monotonic()
+            for slot in self._slots:
+                if (not slot.busy or slot.hb_flagged or slot.proc is None
+                        or not slot.proc.is_alive()):
+                    continue
+                silence = now - max(slot.last_heartbeat, slot.dispatched_at)
+                if silence > HEARTBEAT_MISS_LIMIT * HEARTBEAT_INTERVAL:
+                    slot.hb_flagged = True
+                    st = states.get(slot.task_id)
+                    if st is not None and not st.done:
+                        st.hb_misses += 1
+                        self.heartbeat_misses_total += 1
+        return [completed[uid] for uid in order]
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot_rows(self) -> list:
+        """One dict per worker seat — the ``sys.workers`` table rows."""
+        rows = []
+        for slot in self._slots:
+            alive = slot.proc is not None and slot.proc.is_alive()
+            rows.append({
+                "slot": slot.index,
+                "pid": slot.proc.pid if slot.proc is not None else -1,
+                "alive": alive,
+                "busy": bool(slot.busy and alive),
+                "tasks_ok": slot.tasks_ok,
+                "tasks_failed": slot.tasks_failed,
+                "restarts": slot.restarts,
+                "heartbeats": slot.heartbeats,
+                "spill_dir": slot.spill_dir,
+            })
+        return rows
+
+    def counters(self) -> dict:
+        """Pool-lifetime counters (telemetry folds deltas of these)."""
+        return {
+            "restarts": self.restarts_total,
+            "heartbeat_misses": self.heartbeat_misses_total,
+            "speculations": self.speculations_total,
+            "degradations": self.degradations_total,
+            "tasks_ok": self.tasks_ok_total,
+            "tasks_failed": self.tasks_failed_total,
+        }
+
+    def describe(self) -> str:
+        alive = sum(
+            1 for s in self._slots
+            if s.proc is not None and s.proc.is_alive()
+        )
+        return (
+            f"{self.size} workers ({alive} alive), "
+            f"{self.restarts_total} restarts, "
+            f"{self.speculations_total} speculations, "
+            f"healthy={'yes' if self.healthy else 'no'}"
+        )
+
+    def __repr__(self) -> str:
+        return f"WorkerPool({self.describe()})"
+
+
+def _mp_context():
+    """Fork when the platform has it (workers inherit the loaded join
+    libraries for free); the default start method otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+# -- coordinator-side replay --------------------------------------------------
+
+
+def _replay_attempt(ctx, stage, worker: int, export: dict,
+                    join_name: str) -> float:
+    """Replay one attempt's worth of a task ledger against the real
+    metrics/tracer/breaker/accountant, in the serial order.  Returns the
+    units this attempt charged (the serial retry loop's ``units``)."""
+    units_before = stage.worker_units.get(worker, 0.0)
+    for units in export["charges"]:
+        stage.charge(worker, units)
+    tracer = ctx.tracer
+    if tracer.enabled:
+        for name in export["child_order"]:
+            tracer.attribute(name, 0.0)
+        for name, calls, errors, wall in export["calls"]:
+            tracer.record_calls(name, calls, wall, errors)
+        for name, units, calls in export["attrs"]:
+            tracer.attribute(name, units, calls=calls)
+    if ctx.breaker is not None:
+        for _ in range(export["breaker_failures"]):
+            ctx.breaker.record_failure(join_name)
+    if export["breaker_ok"]:
+        ctx.note_breaker_success(join_name)
+    # Spill restores recompute keys through the translator; the serial
+    # retry loop re-runs them on every attempt (conversion counts are
+    # not rolled back), so the replay adds them per attempt too.
+    ctx.translator.unbox_count += export["key_conversions"]
+    ctx.resources.absorb(stage.name, worker, export["resources"])
+    return stage.worker_units.get(worker, 0.0) - units_before
+
+
+def _apply_counters(ctx, export: dict, join_name: str) -> None:
+    """Result-visible counters land once (the serial retry loop rolls
+    them back on every crashed attempt, so its net effect is one
+    attempt's worth too)."""
+    metrics = ctx.metrics
+    metrics.comparisons += export["comparisons"]
+    for phase, error, detail in export["quarantine_log"]:
+        if len(metrics.quarantine_log) < metrics.MAX_QUARANTINE_REPORT:
+            metrics.quarantine_log.append({
+                "phase": phase,
+                "join": join_name,
+                "error": error,
+                "record": detail,
+            })
+    metrics.records_quarantined += export["quarantined"]
+
+
+def _apply_task(ctx, stage, worker: int, export: dict, join_name: str,
+                plan, key: str, input_bytes: float) -> None:
+    """The coordinator's mirror of :meth:`ExecutionContext.run_task`:
+    same retry loop, same charges, same straggler arithmetic — driven by
+    the same fault-plan rolls — with the worker's ledger standing in for
+    re-running the task function."""
+    model = ctx.cost_model
+    metrics = ctx.metrics
+    if plan is None:
+        ctx.check_timeout()
+        _replay_attempt(ctx, stage, worker, export, join_name)
+    else:
+        attempt = 0
+        while True:
+            ctx.check_timeout()
+            units = _replay_attempt(ctx, stage, worker, export, join_name)
+            if not plan.crashes(key, worker, attempt):
+                break
+            attempt += 1
+            if attempt > plan.max_task_retries:
+                raise TaskFailedError(stage.name, worker, attempt)
+            backoff = plan.backoff_seconds(attempt)
+            restore = model.checkpoint_restore_units(input_bytes)
+            penalty = backoff * model.core_ops_per_second + restore
+            stage.charge(worker, penalty)
+            metrics.tasks_retried += 1
+            metrics.recovery_seconds += model.cpu_seconds(units + penalty)
+        if plan.straggles(key, worker) and units > 0.0:
+            crawl = units * (plan.straggler_slowdown - 1.0)
+            speculate = (units * plan.straggler_detect_factor
+                         + model.checkpoint_restore_units(input_bytes))
+            extra = min(crawl, speculate)
+            stage.charge(worker, extra)
+            metrics.stragglers_detected += 1
+            metrics.recovery_seconds += model.cpu_seconds(extra)
+    _apply_counters(ctx, export, join_name)
+
+
+def _fault_schedule(plan, key: str, worker: int, real: bool) -> dict:
+    """Physical acting script for one task under ``FaultPlan(real=True)``:
+    how many times the worker actually dies (capped by the retry budget —
+    the *accounting* still aborts doomed tasks from the rolls alone) and
+    whether it genuinely stalls."""
+    if not real:
+        return {"kills": 0, "sleep": 0.0}
+    kills = 0
+    while kills < plan.max_task_retries and plan.crashes(key, worker, kills):
+        kills += 1
+    sleep = REAL_STRAGGLER_SLEEP if plan.straggles(key, worker) else 0.0
+    return {"kills": kills, "sleep": sleep}
+
+
+def _make_header_fn(sched: dict):
+    def header_fn(attempt: int, speculative: bool) -> dict:
+        return {
+            "kill": (not speculative) and attempt < sched["kills"],
+            "sleep": (
+                sched["sleep"]
+                if (not speculative and attempt >= sched["kills"])
+                else 0.0
+            ),
+        }
+    return header_fn
+
+
+def run_combine(pool: WorkerPool, op, ctx, stage, kind: str,
+                left_parts: list, right_parts: list, pplan, out_schema,
+                v_cost: float):
+    """Run one COMBINE stage's per-partition tasks on the pool.
+
+    Returns the per-worker row lists (the serial loop's output), or None
+    when the stage cannot or should not ship — unpicklable state, a
+    serde/transport failure, a non-callback worker error, or an exhausted
+    pool — in which case the caller falls through to the serial loop,
+    which reproduces any genuine error deterministically.
+
+    Raises exactly what the serial loop would for errors with serial
+    parity: :class:`FudjCallbackError` (fail policy),
+    :class:`TaskFailedError` (doomed fault rolls), and
+    :class:`QueryTimeoutError` — after replaying the partial ledger so
+    charges match the serial abort state.
+    """
+    model = ctx.cost_model
+    metrics = ctx.metrics
+    plan = ctx.fault_plan
+    plan_active = (
+        plan is not None and plan.any_faults() and plan.active_for(stage.name)
+    )
+    key = stage_key(stage.name)
+    real = bool(plan_active and plan.real)
+    num = ctx.num_partitions
+    join_name = op.join.name
+
+    try:
+        spec = {
+            "kind": kind,
+            "join": op.join,
+            "join_name": join_name,
+            "dedup": op.dedup,
+            "pplan": pplan,
+            "out_schema": out_schema,
+            "v_cost": v_cost,
+            "tag": op.dedup.requires_shuffle,
+            "policy": ctx.on_error,
+            "traced": ctx.tracer.enabled,
+            "num": num,
+            "enforce": ctx.resources.enforce,
+            "translate": op.translate,
+            "model": model,
+        }
+        # Every shipped record needs its spill-stable identity *before*
+        # packing: pair dedup and the worker spill codec both key on rid.
+        for parts in (left_parts, right_parts):
+            for entries in parts:
+                for entry in entries:
+                    _rid_of(entry[2])
+        packed_broadcast = (
+            _pack_entries(right_parts[0]) if kind == "theta" else None
+        )
+        tasks = []
+        schedules = []
+        input_bytes_list = []
+        for worker in range(num):
+            left_entries = left_parts[worker]
+            right_entries = right_parts[worker]
+            packed_right = (
+                packed_broadcast if kind == "theta"
+                else _pack_entries(right_entries)
+            )
+            body = pickle.dumps(
+                {
+                    "spec": dict(spec, worker=worker),
+                    "left": _pack_entries(left_entries),
+                    "right": packed_right,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            sched = (
+                _fault_schedule(plan, key, worker, real)
+                if plan_active else {"kills": 0, "sleep": 0.0}
+            )
+            schedules.append(sched)
+            tasks.append({
+                "header_fn": _make_header_fn(sched),
+                "body": body,
+                "kills": sched["kills"],
+            })
+            input_bytes_list.append(
+                op._restore_bytes(ctx, left_entries, right_entries)
+            )
+    except Exception:
+        return None  # unshippable state — serial path handles it
+
+    extra = sum(t["kills"] for t in tasks)
+    detect = plan.straggler_detect_factor if plan_active else 2.0
+    try:
+        outcomes = pool.run_tasks(
+            tasks, check_cancel=ctx.check_timeout,
+            extra_restarts=extra, detect_factor=detect,
+        )
+    except WorkerPoolError:
+        return None  # pool exhausted — degrade to serial
+
+    # Decode everything first: nothing is applied to shared state until
+    # the whole batch is known to be representable, so a late transport
+    # failure cannot leave half-applied charges behind.
+    tagged = spec["tag"]
+    decoded = []
+    for outcome in outcomes:
+        payload = outcome["payload"]
+        if outcome["status"] == "ok":
+            try:
+                rows = _unpack_rows(payload["rows"], out_schema, tagged)
+            except Exception:
+                return None
+            decoded.append(("ok", rows, payload["site"]))
+        else:
+            desc = payload["error"]
+            if desc.get("kind") != "callback" or payload.get("partial") is None:
+                return None  # generic failure — serial replay reproduces it
+            decoded.append(("err", desc, payload["partial"]))
+
+    applied = []
+
+    def flush_records_out():
+        # On an abort mid-batch the serial loop has already credited
+        # records_out for the workers it finished; mirror that.
+        for finished_rows in applied:
+            stage.records_out += len(finished_rows)
+
+    for worker, item in enumerate(decoded):
+        outcome = outcomes[worker]
+        if ctx.tracer.enabled:
+            ctx.tracer.worker_span(worker, {
+                "pid": outcome["pid"],
+                "wall_ms": outcome["wall"] * 1000.0,
+                "attempts": outcome["attempts"],
+                "deaths": outcome["deaths"],
+                "speculated": outcome["speculated"],
+            })
+        if item[0] == "err":
+            flush_records_out()
+            ctx.check_timeout()
+            # The failing attempt charged partial work before raising;
+            # replay it once (the serial loop aborts without retrying on
+            # an exception), then re-raise with an identical message.
+            _replay_attempt(ctx, stage, worker, item[2], join_name)
+            _apply_counters(ctx, item[2], join_name)
+            raise _rebuild_error(item[1])
+        rows = item[1]
+        try:
+            _apply_task(
+                ctx, stage, worker, item[2], join_name,
+                plan if plan_active else None, key, input_bytes_list[worker],
+            )
+        except BaseException:
+            flush_records_out()
+            raise
+        # Physical recovery accounting: deaths beyond the planned kills
+        # (a genuine SIGKILL, an OOM kill) are charged like injected
+        # crashes — backoff plus a checkpoint restore of the task input.
+        deaths = outcome["deaths"]
+        unplanned = deaths - (schedules[worker]["kills"] if real else 0)
+        if unplanned > 0:
+            backoff_plan = plan if plan is not None else _DEFAULT_PLAN
+            for i in range(unplanned):
+                penalty = (
+                    backoff_plan.backoff_seconds(i + 1)
+                    * model.core_ops_per_second
+                    + model.checkpoint_restore_units(input_bytes_list[worker])
+                )
+                stage.charge(worker, penalty)
+                metrics.tasks_retried += 1
+                metrics.recovery_seconds += model.cpu_seconds(penalty)
+        metrics.worker_restarts += deaths
+        metrics.heartbeat_misses += outcome["hb_misses"]
+        applied.append(rows)
+    return applied

@@ -124,6 +124,16 @@ class BreakerOpenError(ExecutionError):
         self.threshold = threshold
 
 
+class WorkerPoolError(ExecutionError):
+    """The process-pool backend is unhealthy and cannot run tasks.
+
+    Raised by the worker supervisor when the restart budget is exhausted
+    or no live worker remains.  The engine catches it internally and
+    degrades the query to the serial backend; it only escapes to callers
+    who drive :class:`~repro.engine.workers.WorkerPool` directly.
+    """
+
+
 class SerdeError(ReproError):
     """A value could not be (de)serialized or translated."""
 

@@ -81,9 +81,15 @@ def _render_span(span, indent: int, lines: list) -> None:
         _render_span(child, indent + 2, lines)
 
 
-def render_timing_line(result, cores: int) -> str:
+def render_timing_line(result, cores: int = None) -> str:
     """The shell's per-query timing line, built from the stable
-    :meth:`QueryMetrics.to_dict` field list (no ad-hoc plucking)."""
+    :meth:`QueryMetrics.to_dict` field list (no ad-hoc plucking).
+
+    ``cores`` defaults to the core count of the cluster the query ran on
+    (:attr:`QueryResult.cores`), so the simulated figure matches the
+    execution that produced it."""
+    if cores is None:
+        cores = getattr(result, "cores", None) or 1
     metrics = result.metrics.to_dict(cores)
     line = (
         f"[{len(result.rows)} row(s), "
