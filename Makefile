@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry test-resources test-workers bench bench-check lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch bench bench-check perf-gate lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,14 @@ test-resources:   ## memory budgets, spill, admission, circuit breakers
 test-workers:     ## supervised process-pool backend: parity, crashes, recovery
 	$(PYTHON) -m pytest tests/test_workers.py -q
 	$(PYTHON) benchmarks/bench_fig10_scalability.py --backend process --workers 2 --out /tmp/fudj-fig10-measured.json
+
+test-batch:       ## vectorized batch execution: row-parity, kernels, perf gate
+	$(PYTHON) -m pytest tests/test_batch.py -q
+	FUDJ_EXEC=batch $(PYTHON) -m pytest tests/ -q
+	$(PYTHON) benchmarks/bench_fig9_performance.py --check-baseline
+
+perf-gate:        ## row-vs-batch units baseline (CI-required)
+	$(PYTHON) benchmarks/bench_fig9_performance.py --check-baseline
 
 bench:            ## full run: timings + shape assertions + results/*.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

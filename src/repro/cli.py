@@ -20,6 +20,10 @@ Usage::
                                            # supervised pool of real
                                            # worker processes (serial is
                                            # the deterministic default)
+    python -m repro --execution batch      # vectorized batch-at-a-time
+                                           # operators (row is the
+                                           # default; rows and metrics
+                                           # stay byte-identical)
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
@@ -51,6 +55,12 @@ session:
                                 supervised pool of real worker processes
                                 that crash, straggle, and recover; rows
                                 stay byte-identical to serial)
+    .exec row|batch|show        execution granularity: row (record at a
+                                time) or batch (operators exchange
+                                columnar record batches and run
+                                vectorized kernels; rows and
+                                deterministic metrics stay
+                                byte-identical to row mode)
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -300,6 +310,14 @@ class Shell:
                 self.write(f"backend = {self.db.backend}")
             else:
                 self.write("usage: .backend serial|process|show")
+        elif name == ".exec":
+            if not args or args[0] == "show":
+                self.write(f"execution = {self.db.execution}")
+            elif args[0] in ("row", "batch"):
+                self.db.set_execution(args[0])
+                self.write(f"execution = {self.db.execution}")
+            else:
+                self.write("usage: .exec row|batch|show")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -365,6 +383,7 @@ class Shell:
         self.db.breaker = previous.breaker
         self.db.workers = previous.workers
         self.db.set_backend(previous.backend)
+        self.db.set_execution(previous.execution)
         previous.close()  # release the old database's worker pool
         queries = {
             "spatial": workloads.SPATIAL_SQL,
@@ -392,12 +411,20 @@ def main(argv=None) -> int:
     metrics_out = None
     memory_budget = None
     backend = None
+    execution = None
     if "--backend" in argv:
         at = argv.index("--backend")
         if at + 1 >= len(argv) or argv[at + 1] not in ("serial", "process"):
             print("--backend needs serial or process", file=sys.stderr)
             return 1
         backend = argv[at + 1]
+        del argv[at:at + 2]
+    if "--execution" in argv:
+        at = argv.index("--execution")
+        if at + 1 >= len(argv) or argv[at + 1] not in ("row", "batch"):
+            print("--execution needs row or batch", file=sys.stderr)
+            return 1
+        execution = argv[at + 1]
         del argv[at:at + 2]
     if "--memory-budget" in argv:
         at = argv.index("--memory-budget")
@@ -432,7 +459,8 @@ def main(argv=None) -> int:
     try:
         shell = Shell(db=Database(fault_plan=fault_plan,
                                   memory_budget=memory_budget,
-                                  backend=backend))
+                                  backend=backend,
+                                  execution=execution))
     except ReproError as exc:
         print(f"bad --memory-budget value: {exc}", file=sys.stderr)
         return 1
@@ -440,6 +468,9 @@ def main(argv=None) -> int:
     if shell.db.backend == "process":
         print("process backend active: COMBINE tasks run on a supervised "
               "worker-process pool")
+    if shell.db.execution == "batch":
+        print("batch execution active: operators run vectorized kernels "
+              "over columnar record batches")
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.describe()}")
     if shell.db.memory_budget is not None:

@@ -28,6 +28,7 @@ import time
 import weakref
 
 from repro.catalog import Catalog
+from repro.engine.batch import EXECUTION_MODES
 from repro.core.dedup import (
     DedupStrategy,
     DuplicateAvoidance,
@@ -116,6 +117,17 @@ class Database:
       Defaults to the ``FUDJ_BACKEND`` environment variable when unset.
     * ``workers`` — worker-process count for the process backend
       (default: a small bound from partitions/cores/machine size).
+
+    Execution granularity:
+
+    * ``execution`` — ``"row"`` (record-at-a-time operators, the
+      default) or ``"batch"`` (operators exchange columnar
+      :class:`~repro.engine.batch.RecordBatch` chunks and run
+      vectorized kernels; rows and deterministic metrics stay
+      byte-identical to row mode).  Defaults to the ``FUDJ_EXEC``
+      environment variable when unset.
+    * ``batch_rows`` — target rows per batch in batch mode (default
+      1024).
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
@@ -130,7 +142,9 @@ class Database:
                  queue_timeout: float = None,
                  breaker_threshold: int = None,
                  backend: str = None,
-                 workers: int = None) -> None:
+                 workers: int = None,
+                 execution: str = None,
+                 batch_rows: int = None) -> None:
         self._base_cost_model = cost_model or CostModel()
         self.memory_budget = _check_budget(memory_budget)
         self.max_concurrent = max_concurrent
@@ -165,6 +179,11 @@ class Database:
             backend if backend is not None
             else os.environ.get("FUDJ_BACKEND") or "serial"
         )
+        self._execution = _check_execution(
+            execution if execution is not None
+            else os.environ.get("FUDJ_EXEC") or "row"
+        )
+        self.batch_rows = batch_rows
         register_sys_tables(self)
 
     # -- SQL entry points -----------------------------------------------------------
@@ -296,6 +315,19 @@ class Database:
         if self.cluster.backend == "serial":
             self._shutdown_pool()
 
+    # -- execution granularity --------------------------------------------------------
+
+    @property
+    def execution(self) -> str:
+        """The active execution granularity (``"row"`` or ``"batch"``)."""
+        return self._execution
+
+    def set_execution(self, execution: str) -> None:
+        """Switch between row and batch execution; takes effect for the
+        next query.  Both modes return byte-identical rows and
+        deterministic metrics."""
+        self._execution = _check_execution(execution)
+
     def _acquire_pool(self):
         """The live worker pool, spawning or respawning it as needed.
 
@@ -380,7 +412,8 @@ class Database:
                                 fault_plan=faults, on_error=policy,
                                 timeout_seconds=timeout, trace=tracing,
                                 resources=resources, breaker=self.breaker,
-                                pool=pool)
+                                pool=pool, execution=self._execution,
+                                batch_rows=self.batch_rows)
         finally:
             if ticket is not None:
                 self.admission.release(ticket)
@@ -650,6 +683,15 @@ def _check_backend(backend: str) -> str:
             f"unknown backend {backend!r}; use serial or process"
         )
     return backend
+
+
+def _check_execution(execution: str) -> str:
+    if execution not in EXECUTION_MODES:
+        raise PlanError(
+            f"unknown execution granularity {execution!r}; "
+            f"use {'/'.join(EXECUTION_MODES)}"
+        )
+    return execution
 
 
 def _check_policy(on_error: str) -> str:

@@ -51,6 +51,13 @@ class ExecutionContext:
             provider returning one (resolved lazily on the first combine
             stage, so the serial backend never forks).  None keeps the
             query on the serial backend.
+        execution: ``"row"`` (the default record-at-a-time loops) or
+            ``"batch"`` — operators with a vectorized path run their
+            ``run_batches`` hook over columnar
+            :class:`~repro.engine.batch.RecordBatch` data instead.
+            Rows and deterministic metrics are byte-identical either way.
+        batch_rows: rows per batch under batched execution (defaults to
+            :data:`~repro.engine.batch.DEFAULT_BATCH_ROWS`).
     """
 
     def __init__(self, cluster: Cluster, metrics: QueryMetrics = None,
@@ -60,11 +67,23 @@ class ExecutionContext:
                  trace: bool = False,
                  resources=None,
                  breaker=None,
-                 pool=None) -> None:
+                 pool=None,
+                 execution: str = "row",
+                 batch_rows: int = None) -> None:
+        from repro.engine.batch import DEFAULT_BATCH_ROWS, EXECUTION_MODES
+
         if on_error not in ERROR_POLICIES:
             raise ExecutionError(
                 f"unknown error policy {on_error!r}; use fail/skip/quarantine"
             )
+        if execution not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {execution!r}; "
+                f"use {'/'.join(EXECUTION_MODES)}"
+            )
+        self.execution = execution
+        self.batch_rows = (DEFAULT_BATCH_ROWS if batch_rows is None
+                           else max(1, int(batch_rows)))
         self.cluster = cluster
         self.metrics = metrics or QueryMetrics(cluster.cost_model)
         self.translator = Translator()
@@ -174,6 +193,7 @@ class ExecutionContext:
         overruns detection.  Every recovery charge lands in the normal
         stage accounting, so the simulated makespan reflects it.
         """
+        self.metrics.operator_invocations += 1
         plan = self.fault_plan
         if (plan is None or not plan.any_faults()
                 or not plan.active_for(stage.name)):

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
 from repro.engine.faults import apply_exchange_faults, charge_checkpoint
-from repro.engine.resources import RecordSpillCodec
+from repro.engine.record import serialized_values_size
+from repro.engine.resources import RecordSpillCodec, RowSpillCodec
 
 _SIZE_SAMPLE = 32
 
@@ -64,6 +65,7 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
         out = [[] for _ in range(ctx.num_partitions)]
         for worker, partition in enumerate(partitions):
             moved = []
+            ctx.metrics.operator_invocations += len(partition)
             for record in partition:
                 target = hash(key_fn(record)) % ctx.num_partitions
                 out[target].append(record)
@@ -82,6 +84,74 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
         return _admit_received(out, ctx, stage)
 
 
+def _row_bytes(rows, ctx: ExecutionContext) -> int:
+    """Wire size of a row list, exact or sampled — the value-tuple twin
+    of :func:`_partition_bytes` (same sampling stride, same sizes)."""
+    if not rows:
+        return 0
+    if ctx.measure_bytes or len(rows) <= _SIZE_SAMPLE:
+        return sum(serialized_values_size(row) for row in rows)
+    sample = rows[:: max(1, len(rows) // _SIZE_SAMPLE)][:_SIZE_SAMPLE]
+    avg = sum(serialized_values_size(row) for row in sample) / len(sample)
+    return int(avg * len(rows))
+
+
+def _admit_received_rows(out_rows, ctx: ExecutionContext, stage) -> list:
+    """Batched twin of :func:`_admit_received`: account receive buffers
+    (as raw rows) against the memory budget, enforcement-only."""
+    if not ctx.resources.enforce:
+        return out_rows
+    codec = RowSpillCodec()
+    return [
+        ctx.admit(stage, worker, rows, codec, price=False)
+        for worker, rows in enumerate(out_rows)
+    ]
+
+
+def hash_exchange_batches(worker_batches, key_fn, ctx: ExecutionContext,
+                          stage_name: str, schema) -> list:
+    """Batch-at-a-time hash repartition — the vectorized twin of
+    :func:`hash_exchange`.
+
+    ``worker_batches`` is one list of
+    :class:`~repro.engine.batch.RecordBatch` per worker; ``key_fn``
+    takes a raw value tuple (row mode keys on ``record.values``, so the
+    hashes agree).  Stage name, per-row charges (issued once per worker
+    as ``rows * (hash_op + record_touch)``), network bytes, fault
+    injection, checkpoint spooling, and receive-buffer admission are all
+    identical to the row exchange; only the dispatch granularity — one
+    kernel call per batch — differs.  Returns per-worker batch lists.
+    """
+    from repro.engine.batch import batches_from_rows
+    from repro.engine.kernels import scatter_batch
+
+    ctx.pool_tick()  # recycle idle-dead workers between stages
+    stage = ctx.metrics.stage(stage_name)
+    model = ctx.cost_model
+    with ctx.tracer.span(stage_name.rsplit("/", 1)[-1], kind="exchange",
+                         stage=stage):
+        out_rows = [[] for _ in range(ctx.num_partitions)]
+        for worker, batches in enumerate(worker_batches):
+            moved = []
+            sent = 0
+            for batch in batches:
+                ctx.metrics.operator_invocations += 1
+                scatter_batch(batch, key_fn, ctx.num_partitions, worker,
+                              out_rows, moved)
+                sent += batch.num_rows
+            stage.charge(worker, sent * (model.hash_op + model.record_touch))
+            moved_bytes = _row_bytes(moved, ctx)
+            stage.network_bytes += moved_bytes
+            stage.charge(worker, moved_bytes * model.serde_byte)
+            apply_exchange_faults(ctx, stage, worker, moved_bytes)
+            stage.records_in += sent
+        for worker, rows in enumerate(out_rows):
+            charge_checkpoint(ctx, stage, worker, _row_bytes(rows, ctx))
+        stage.records_out = sum(len(rows) for rows in out_rows)
+        received = _admit_received_rows(out_rows, ctx, stage)
+        return [batches_from_rows(ctx, schema, rows) for rows in received]
+
+
 def broadcast_exchange(partitions, ctx: ExecutionContext,
                        stage_name: str = "broadcast-exchange") -> list:
     """Replicate the full input to every worker.
@@ -97,6 +167,7 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
         everything = [
             record for partition in partitions for record in partition
         ]
+        ctx.metrics.operator_invocations += len(everything)
         total_bytes = _partition_bytes(everything, ctx)
         replicas = max(0, ctx.num_partitions - 1)
         stage.fabric_bytes += total_bytes * replicas
@@ -130,6 +201,7 @@ def random_exchange(partitions, ctx: ExecutionContext,
         cursor = 0
         for worker, partition in enumerate(partitions):
             moved = []
+            ctx.metrics.operator_invocations += len(partition)
             for record in partition:
                 target = cursor % ctx.num_partitions
                 cursor += 1

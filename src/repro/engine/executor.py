@@ -67,7 +67,9 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  trace: bool = False,
                  resources=None,
                  breaker=None,
-                 pool=None) -> QueryResult:
+                 pool=None,
+                 execution: str = "row",
+                 batch_rows: int = None) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -91,11 +93,17 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
         pool: process-pool backend — a
             :class:`~repro.engine.workers.WorkerPool` or a lazy provider
             of one; None (the default) runs the query serially.
+        execution: ``"row"`` (default) or ``"batch"`` — vectorized
+            operators run over columnar record batches; rows and
+            deterministic metrics are byte-identical either way.
+        batch_rows: rows per batch under batched execution (None keeps
+            :data:`~repro.engine.batch.DEFAULT_BATCH_ROWS`).
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
         on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
         resources=resources, breaker=breaker, pool=pool,
+        execution=execution, batch_rows=batch_rows,
     )
     started = time.perf_counter()
     try:

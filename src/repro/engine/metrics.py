@@ -67,6 +67,19 @@ class QueryMetrics:
         self.translation_conversions = 0
         self.comparisons = 0
         self.output_records = 0
+        # -- batched execution ---------------------------------------------------
+        #: Engine kernel dispatches: one per record pushed through a
+        #: row-loop operator or exchange send in row mode, one per batch
+        #: in batch mode, and one per worker task either way.  The
+        #: batch/row ratio of this counter is the amortization bound the
+        #: CI perf gate enforces.
+        self.operator_invocations = 0
+        #: Record batches produced (0 under row execution).
+        self.batches = 0
+        #: Histogram feed: rows-per-batch -> number of batches of that
+        #: size.  Not part of :meth:`to_dict`; telemetry folds it into
+        #: the ``fudj_batch_rows`` registry histogram.
+        self.batch_row_counts = {}
         # -- fault tolerance ---------------------------------------------------
         #: Compute task attempts that were lost and replayed.
         self.tasks_retried = 0
@@ -123,6 +136,11 @@ class QueryMetrics:
         """The stage named ``name``, or None — unlike :meth:`stage` this
         never creates one (used by trace rendering)."""
         return self._stage_index.get(name)
+
+    def note_batch(self, rows: int) -> None:
+        """Count one produced record batch of ``rows`` live rows."""
+        self.batches += 1
+        self.batch_row_counts[rows] = self.batch_row_counts.get(rows, 0) + 1
 
     def note_quarantine(self, phase: str, join_name: str, error: Exception,
                         detail: str = None) -> None:
@@ -269,6 +287,8 @@ class QueryMetrics:
             "spill_bytes": self.spill_bytes,
             "spill_files": self.spill_files,
             "queue_seconds": self.queue_seconds,
+            "operator_invocations": self.operator_invocations,
+            "batches": self.batches,
         }
         if cores is not None:
             out["simulated_seconds"] = self.simulated_seconds(cores)

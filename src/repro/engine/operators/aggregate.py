@@ -7,11 +7,13 @@ the partials, then merge globally.
 
 from __future__ import annotations
 
+from repro.engine import kernels
+from repro.engine.batch import BatchResult, as_worker_batches, batches_from_rows
 from repro.engine.context import ExecutionContext
-from repro.engine.exchange import hash_exchange
+from repro.engine.exchange import hash_exchange, hash_exchange_batches
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
 from repro.engine.record import Record, Schema
-from repro.engine.resources import RecordSpillCodec
+from repro.engine.resources import RecordSpillCodec, RowSpillCodec
 from repro.serde.values import box, unbox
 
 
@@ -219,6 +221,7 @@ class GroupBy(PhysicalOperator):
                     stage, worker, partition,
                     RecordSpillCodec(source.schema), price=False,
                 )
+            ctx.metrics.operator_invocations += len(partition)
             table = {}
             for record in partition:
                 key = tuple(key_fn(record) for _, key_fn in self.keys)
@@ -253,6 +256,7 @@ class GroupBy(PhysicalOperator):
         )
         out = []
         for worker, partition in enumerate(shuffled):
+            ctx.metrics.operator_invocations += len(partition)
             table = {}
             for record in partition:
                 key = record.values[0]
@@ -276,6 +280,87 @@ class GroupBy(PhysicalOperator):
         stage.records_in = len(source)
         stage.records_out = sum(len(p) for p in out)
         return OperatorResult(out, out_schema)
+
+    def run_batches(self, ctx: ExecutionContext) -> BatchResult:
+        source = self.child.execute(ctx)
+        batches = as_worker_batches(source, ctx)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        cursor = kernels.make_cursor(source.schema)
+
+        # Phase 1: local aggregation, one kernel call per batch.  Under a
+        # memory budget the raw rows are admitted first through the
+        # row-tuple codec — same sizes, same spill frames as row mode.
+        local_tables = []
+        for worker, worker_batches in enumerate(batches):
+            if ctx.resources.enforce:
+                rows = [row for batch in worker_batches
+                        for row in batch.iter_rows()]
+                rows = ctx.admit(stage, worker, rows, RowSpillCodec(),
+                                 price=False)
+                worker_batches = batches_from_rows(ctx, source.schema, rows)
+            table = {}
+            total = 0
+            for batch in worker_batches:
+                ctx.metrics.operator_invocations += 1
+                kernels.fold_groups(batch, self.keys, self.aggregates,
+                                    table, cursor)
+                total += batch.num_rows
+            stage.charge(
+                worker, total * (model.hash_op + model.record_touch)
+            )
+            local_tables.append(table)
+
+        # Phase 2: shuffle partial states by group key (batched).
+        partial_schema = Schema(["__key", "__states"])
+        partials = [
+            batches_from_rows(
+                ctx, partial_schema,
+                [(box_key(key), RawState(states))
+                 for key, states in table.items()],
+            )
+            for table in local_tables
+        ]
+        shuffled = hash_exchange_batches(
+            partials, lambda row: row[0], ctx,
+            f"{self.stage_name}/shuffle", partial_schema,
+        )
+
+        # Phase 3: global merge per worker, one kernel call per batch.
+        out_schema = Schema(
+            [name for name, _ in self.keys]
+            + [agg.output_name for agg in self.aggregates]
+        )
+        out = []
+        records_out = 0
+        for worker, worker_batches in enumerate(shuffled):
+            table = {}
+            total = 0
+            for batch in worker_batches:
+                ctx.metrics.operator_invocations += 1
+                for key, raw in batch.iter_rows():
+                    states = raw.states
+                    current = table.get(key)
+                    if current is None:
+                        table[key] = list(states)
+                    else:
+                        for i, agg in enumerate(self.aggregates):
+                            current[i] = agg.merge(current[i], states[i])
+                total += batch.num_rows
+            stage.charge(worker, total * model.hash_op)
+            rows = []
+            for key, states in table.items():
+                key_values = unbox_key(key, len(self.keys))
+                agg_values = [
+                    box(agg.result(states[i]))
+                    for i, agg in enumerate(self.aggregates)
+                ]
+                rows.append(tuple(key_values) + tuple(agg_values))
+            records_out += len(rows)
+            out.append(batches_from_rows(ctx, out_schema, rows))
+        stage.records_in = len(source)
+        stage.records_out = records_out
+        return BatchResult(out, out_schema)
 
 
 class ScalarAggregate(PhysicalOperator):
@@ -304,6 +389,7 @@ class ScalarAggregate(PhysicalOperator):
         model = ctx.cost_model
         partials = []
         for worker, partition in enumerate(source.partitions):
+            ctx.metrics.operator_invocations += len(partition)
             states = [agg.init() for agg in self.aggregates]
             for record in partition:
                 for i, agg in enumerate(self.aggregates):
@@ -324,6 +410,37 @@ class ScalarAggregate(PhysicalOperator):
         stage.records_in = len(source)
         stage.records_out = 1
         return OperatorResult(partitions, out_schema)
+
+    def run_batches(self, ctx: ExecutionContext) -> BatchResult:
+        source = self.child.execute(ctx)
+        batches = as_worker_batches(source, ctx)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        cursor = kernels.make_cursor(source.schema)
+        partials = []
+        for worker, worker_batches in enumerate(batches):
+            states = [agg.init() for agg in self.aggregates]
+            total = 0
+            for batch in worker_batches:
+                ctx.metrics.operator_invocations += 1
+                kernels.fold_scalar(batch, self.aggregates, states, cursor)
+                total += batch.num_rows
+            stage.charge(worker, total * model.record_touch)
+            partials.append(states)
+        merged = [agg.init() for agg in self.aggregates]
+        for states in partials:
+            for i, agg in enumerate(self.aggregates):
+                merged[i] = agg.merge(merged[i], states[i])
+        out_schema = Schema(agg.output_name for agg in self.aggregates)
+        row = tuple(
+            box(agg.result(merged[i]))
+            for i, agg in enumerate(self.aggregates)
+        )
+        out = [[] for _ in range(ctx.num_partitions)]
+        out[0] = batches_from_rows(ctx, out_schema, [row])
+        stage.records_in = len(source)
+        stage.records_out = 1
+        return BatchResult(out, out_schema)
 
 
 class RawState:

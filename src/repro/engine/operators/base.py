@@ -13,13 +13,22 @@ _IDS = itertools.count(1)
 
 @dataclass
 class OperatorResult:
-    """Output of one physical operator: partitions plus their schema."""
+    """Output of one physical operator: partitions plus their schema.
+
+    Partitions are frozen at construction (no operator mutates a result
+    it has returned), so the record count is computed once here —
+    ``len()`` is called per operator per query by tracing and the
+    printer, and re-summing every partition each time was pure waste.
+    """
 
     partitions: list
     schema: Schema
 
+    def __post_init__(self) -> None:
+        self._num_records = sum(len(p) for p in self.partitions)
+
     def __len__(self) -> int:
-        return sum(len(p) for p in self.partitions)
+        return self._num_records
 
     def all_records(self):
         """Yield every record across partitions."""
@@ -43,21 +52,39 @@ class PhysicalOperator:
         self.stage_name = f"{self.label}#{next(_IDS)}"
 
     def execute(self, ctx: ExecutionContext) -> OperatorResult:
-        """Run the operator (inside an ``operator`` span when tracing)."""
+        """Run the operator (inside an ``operator`` span when tracing).
+
+        Dispatches to :meth:`run_batches` when the context executes in
+        batch mode; operators without a vectorized path fall back to
+        :meth:`run` (the default :meth:`run_batches`), while their
+        children still dispatch independently — a row-only join happily
+        consumes batched children through the duck-typed
+        :class:`~repro.engine.batch.BatchResult` surface.
+        """
+        runner = self.run_batches if ctx.execution == "batch" else self.run
         tracer = ctx.tracer
         if not tracer.enabled:
-            return self.run(ctx)
+            return runner(ctx)
         with tracer.span(self.stage_name, kind="operator") as span:
-            result = self.run(ctx)
+            result = runner(ctx)
             stage = ctx.metrics.find_stage(self.stage_name)
             if stage is not None:
                 span.copy_stage(stage)
             span.records_out = len(result)
+            batches = getattr(result, "num_batches", None)
+            if batches is not None:
+                span.meta["batches_out"] = batches
             return result
 
     def run(self, ctx: ExecutionContext) -> OperatorResult:
         """Compute the operator's partitioned output (subclass hook)."""
         raise NotImplementedError
+
+    def run_batches(self, ctx: ExecutionContext):
+        """Batched execution hook; operators with a vectorized path
+        override this to return a :class:`~repro.engine.batch.BatchResult`.
+        The default keeps the operator on the row path."""
+        return self.run(ctx)
 
     def explain(self, indent: int = 0) -> str:
         """A one-operator-per-line plan rendering (children indented)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.engine.batch import BatchResult, batches_from_rows
 from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import OperatorResult, PhysicalOperator
 from repro.engine.record import Record, Schema
@@ -31,6 +32,7 @@ class Scan(PhysicalOperator):
         model = ctx.cost_model
         partitions = []
         for worker, partition in enumerate(dataset.partitions):
+            ctx.metrics.operator_invocations += len(partition)
             out = [Record(schema, record.values) for record in partition]
             stage.charge(worker, len(out) * model.record_touch)
             partitions.append(out)
@@ -39,6 +41,27 @@ class Scan(PhysicalOperator):
         # normalise to the cluster's partition count.
         partitions = _normalize(partitions, ctx.num_partitions)
         return OperatorResult(partitions, schema)
+
+    def run_batches(self, ctx: ExecutionContext) -> BatchResult:
+        dataset = ctx.cluster.dataset(self.dataset_name)
+        schema = dataset.schema.qualify(self.alias)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        worker_batches = []
+        total = 0
+        for worker, partition in enumerate(dataset.partitions):
+            batches = batches_from_rows(
+                ctx, schema, [record.values for record in partition]
+            )
+            ctx.metrics.operator_invocations += len(batches)
+            stage.charge(worker, len(partition) * model.record_touch)
+            total += len(partition)
+            worker_batches.append(batches)
+        stage.records_in = stage.records_out = total
+        # The same partition-level round robin as the row path, on batch
+        # lists — row order per worker comes out identical.
+        worker_batches = _normalize(worker_batches, ctx.num_partitions)
+        return BatchResult(worker_batches, schema)
 
 
 class Values(PhysicalOperator):
@@ -61,9 +84,25 @@ class Values(PhysicalOperator):
         partitions = [[] for _ in range(ctx.num_partitions)]
         for i, record in enumerate(self.rows):
             partitions[i % ctx.num_partitions].append(record)
+        ctx.metrics.operator_invocations += len(self.rows)
         stage = ctx.metrics.stage(self.stage_name)
         stage.records_in = stage.records_out = len(self.rows)
         return OperatorResult(partitions, self.schema)
+
+    def run_batches(self, ctx: ExecutionContext) -> BatchResult:
+        rows_per_worker = [[] for _ in range(ctx.num_partitions)]
+        for i, record in enumerate(self.rows):
+            rows_per_worker[i % ctx.num_partitions].append(record.values)
+        worker_batches = [
+            batches_from_rows(ctx, self.schema, rows)
+            for rows in rows_per_worker
+        ]
+        ctx.metrics.operator_invocations += sum(
+            len(batches) for batches in worker_batches
+        )
+        stage = ctx.metrics.stage(self.stage_name)
+        stage.records_in = stage.records_out = len(self.rows)
+        return BatchResult(worker_batches, self.schema)
 
 
 def _normalize(partitions: list, target: int) -> list:

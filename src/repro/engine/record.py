@@ -121,20 +121,28 @@ class Record:
         return Record(schema, self.values + other.values)
 
     def serialized_size(self) -> int:
-        """Wire size of this record in bytes.
+        """Wire size of this record in bytes (see
+        :func:`serialized_values_size`)."""
+        return serialized_values_size(self.values)
 
-        Opaque intra-engine values (partial aggregate states, PPlan
-        handles) are not wire-serializable; they are counted as a fixed
-        16-byte blob, which only affects the simulated network charge of
-        the (small) partial-state shuffles.
-        """
-        from repro.errors import SerdeError
 
-        buf = bytearray()
-        opaque = 0
-        for value in self.values:
-            try:
-                serialize_value(value, buf)
-            except SerdeError:
-                opaque += 1
-        return len(buf) + 16 * opaque
+def serialized_values_size(values) -> int:
+    """Wire size of one row's values in bytes.
+
+    Shared by :meth:`Record.serialized_size` and the batched execution
+    path (which sizes raw value tuples), so row and batch byte
+    accounting agree by construction.  Opaque intra-engine values
+    (partial aggregate states, PPlan handles) are not wire-serializable;
+    they are counted as a fixed 16-byte blob, which only affects the
+    simulated network charge of the (small) partial-state shuffles.
+    """
+    from repro.errors import SerdeError
+
+    buf = bytearray()
+    opaque = 0
+    for value in values:
+        try:
+            serialize_value(value, buf)
+        except SerdeError:
+            opaque += 1
+    return len(buf) + 16 * opaque

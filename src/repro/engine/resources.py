@@ -44,7 +44,7 @@ import tempfile
 import threading
 
 from repro.engine.costs import CostModel
-from repro.engine.record import Record, Schema
+from repro.engine.record import Record, Schema, serialized_values_size
 from repro.errors import AdmissionError, BreakerOpenError, SerdeError
 from repro.serde.serializer import (
     _I64,
@@ -144,6 +144,43 @@ class RecordSpillCodec:
         record = Record(self.schema, values)
         record.rid = rid
         return record
+
+
+class RowSpillCodec:
+    """(De)serializes raw value-tuple rows (the batched execution path).
+
+    Batched operators and exchanges hold rows as plain value tuples, not
+    :class:`Record` objects.  Frames are byte-compatible with
+    :class:`RecordSpillCodec`'s — an ``_I64`` identity prefix (drawn
+    from the same spill-stable counter) followed by each value through
+    the serde layer — and :meth:`size` prices exactly what
+    ``Record.serialized_size`` would, so spill files, spill bytes, and
+    peak reservations match row mode bit-for-bit.  Rows holding
+    unserializable values (opaque partial-aggregate states) are pinned,
+    just as row mode pins the records carrying them.
+    """
+
+    def size(self, item) -> int:
+        return serialized_values_size(item)
+
+    def encode(self, item):
+        if not isinstance(item, tuple):
+            return None
+        buf = bytearray(_I64.pack(next(_RID_COUNTER)))
+        try:
+            for value in item:
+                serialize_value(value, buf)
+        except SerdeError:
+            return None
+        return bytes(buf)
+
+    def decode(self, payload: bytes):
+        offset = _I64.size
+        values = []
+        while offset < len(payload):
+            value, offset = deserialize_value(payload, offset)
+            values.append(value)
+        return tuple(values)
 
 
 class EntrySpillCodec:

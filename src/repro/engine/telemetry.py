@@ -43,6 +43,8 @@ from repro.errors import ReproError
 SIM_SECONDS_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 #: Histogram bucket upper bounds for per-query result row counts.
 ROW_COUNT_BUCKETS = (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0)
+#: Histogram bucket upper bounds for rows per record batch (batch mode).
+BATCH_ROWS_BUCKETS = (1.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0)
 
 #: Default bound on retained history records (oldest evicted first).
 DEFAULT_HISTORY_LIMIT = 256
@@ -156,6 +158,27 @@ class Histogram:
                 series["counts"][i] += 1
         series["sum"] += float(value)
         series["count"] += 1
+
+    def observe_many(self, value: float, count: int = 1, **labels) -> None:
+        """Fold ``count`` identical observations of ``value`` in one call
+        (how batch-mode rows-per-batch tallies land in the registry)."""
+        if count < 0:
+            raise TelemetryError(
+                f"histogram {self.name} cannot observe a negative count"
+            )
+        if count == 0:
+            return
+        key = _label_key(self.labelnames, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                      "count": 0}
+            self._series[key] = series
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series["counts"][i] += count
+        series["sum"] += float(value) * count
+        series["count"] += count
 
     def reset(self) -> None:
         self._series.clear()
@@ -469,6 +492,16 @@ class Telemetry:
             "Bytes written to memory-budget spill files.")
         self._spill_files = r.counter(
             "fudj_spill_files_total", "Memory-budget spill files written.")
+        self._operator_invocations = r.counter(
+            "fudj_operator_invocations_total",
+            "Operator kernel/record invocations (one per record in row "
+            "mode, one per batch in batch mode).")
+        self._batches = r.counter(
+            "fudj_batches_total",
+            "Record batches produced by batch-mode operators.")
+        self._batch_rows = r.histogram(
+            "fudj_batch_rows", "Rows per record batch (batch mode).",
+            BATCH_ROWS_BUCKETS)
         self._admission = r.counter(
             "fudj_admission_total",
             "Admission controller decisions, by outcome.", ("outcome",))
@@ -560,6 +593,11 @@ class Telemetry:
             self._heartbeat_misses.inc(m["heartbeat_misses"])
             self._spill_bytes.inc(m["spill_bytes"])
             self._spill_files.inc(m["spill_files"])
+            self._operator_invocations.inc(m["operator_invocations"])
+            self._batches.inc(m["batches"])
+            for rows_per_batch, count in sorted(
+                    metrics.batch_row_counts.items()):
+                self._batch_rows.observe_many(rows_per_batch, count)
             for stage_row in entry["stages"]:
                 self._stage_units.inc(stage_row["cpu_units"],
                                       op=stage_row["op"])

@@ -1,0 +1,382 @@
+"""Batch (vectorized) execution: columnar record batches between
+operators, byte-identical to row-at-a-time execution.
+
+The contract under test is *byte identity*: ``execution="batch"`` must
+return exactly the rows — and the deterministic metrics — of row mode,
+across join libraries, memory budgets, seeded fault plans, and the
+process backend.  Divergence is allowed only where granularity is
+visible by design: ``operator_invocations`` drops (the amortization
+win) and ``batches`` becomes nonzero.
+"""
+
+import os
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaultPlan
+from repro.bench import workloads
+from repro.cli import Shell
+from repro.database import Database
+from repro.engine.batch import (
+    DEFAULT_BATCH_ROWS,
+    BatchResult,
+    RecordBatch,
+    batches_from_rows,
+)
+from repro.engine import kernels
+from repro.engine.record import Record, Schema
+from repro.engine.resources import RowSpillCodec
+from repro.engine.operators.aggregate import RawState
+from repro.errors import PlanError, TaskFailedError
+from repro.serde.values import box
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _no_mode_env():
+    """Every test here picks its execution mode and backend explicitly,
+    so the file must behave identically when the whole suite runs under
+    ``FUDJ_EXEC=batch`` or ``FUDJ_BACKEND=process`` (the CI mode-matrix
+    jobs).  Module scope keeps hypothesis's function-scoped-fixture
+    health check quiet."""
+    old_exec = os.environ.pop("FUDJ_EXEC", None)
+    old_backend = os.environ.pop("FUDJ_BACKEND", None)
+    yield
+    if old_exec is not None:
+        os.environ["FUDJ_EXEC"] = old_exec
+    if old_backend is not None:
+        os.environ["FUDJ_BACKEND"] = old_backend
+
+
+#: ``QueryMetrics.to_dict`` keys that must match row mode byte-for-byte
+#: in batch mode.  Excluded by design: ``wall_seconds`` /
+#: ``queue_seconds`` (real time), ``worker_restarts`` /
+#: ``heartbeat_misses`` (real supervision), and ``operator_invocations``
+#: / ``batches`` (the dispatch-granularity win itself).
+DETERMINISTIC_KEYS = (
+    "cpu_units", "network_bytes", "comparisons",
+    "translation_conversions", "output_records", "stages",
+    "tasks_retried", "exchange_retries", "stragglers_detected",
+    "records_quarantined", "recovery_seconds", "checkpoint_bytes",
+    "peak_reserved_bytes", "spill_bytes", "spill_files",
+    "simulated_seconds",
+)
+
+
+def run_query(build, sql, execution, budget=None, fault_seed=None,
+              backend="serial"):
+    """Rows (order-stable, hashable) plus the metrics dict for one run."""
+    db = build()
+    try:
+        db.set_execution(execution)
+        if budget is not None:
+            db.set_memory_budget(budget)
+        if backend == "process":
+            db.set_backend("process")
+        plan = (None if fault_seed is None else
+                FaultPlan(seed=fault_seed, crash_rate=0.2,
+                          straggler_rate=0.05, real=True))
+        try:
+            result = db.execute(sql, fault_plan=plan)
+        except TaskFailedError as exc:
+            # A doomed roll schedule aborts the query in either mode;
+            # parity then means raising the *same* error (plan-instance
+            # counters masked, as in test_workers.py).
+            return ("task-failed", re.sub(r"#\d+", "#N", str(exc))), None
+        rows = [tuple(sorted(row.items())) for row in result.rows]
+        return rows, result.metrics.to_dict(db.cluster.cores)
+    finally:
+        db.close()
+
+
+def check_parity(build, sql, budget, fault_seed, backend="serial"):
+    row_rows, row_metrics = run_query(
+        build, sql, "row", budget, fault_seed)
+    batch_rows, batch_metrics = run_query(
+        build, sql, "batch", budget, fault_seed, backend=backend)
+    assert batch_rows == row_rows
+    if row_metrics is None:
+        assert batch_metrics is None
+        return None
+    for key in DETERMINISTIC_KEYS:
+        assert batch_metrics[key] == row_metrics[key], key
+    return row_metrics, batch_metrics
+
+
+BUDGETS = st.one_of(st.none(), st.sampled_from([512, 1024, 4096]))
+FAULT_SEEDS = st.one_of(st.none(), st.integers(min_value=0, max_value=999))
+
+
+class TestParitySweep:
+    """Hypothesis sweep: batch == row across budgets and fault plans."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(budget=BUDGETS, fault_seed=FAULT_SEEDS)
+    def test_spatial(self, budget, fault_seed):
+        check_parity(lambda: workloads.spatial_database(25, 120),
+                     workloads.SPATIAL_SQL, budget, fault_seed)
+
+    @settings(max_examples=5, deadline=None)
+    @given(budget=BUDGETS, fault_seed=FAULT_SEEDS)
+    def test_interval(self, budget, fault_seed):
+        check_parity(lambda: workloads.interval_database(120),
+                     workloads.INTERVAL_SQL, budget, fault_seed)
+
+    @settings(max_examples=5, deadline=None)
+    @given(budget=BUDGETS, fault_seed=FAULT_SEEDS)
+    def test_text(self, budget, fault_seed):
+        check_parity(lambda: workloads.text_database(80),
+                     workloads.TEXT_SQL.format(threshold=0.9),
+                     budget, fault_seed)
+
+    @settings(max_examples=3, deadline=None)
+    @given(budget=BUDGETS, fault_seed=FAULT_SEEDS)
+    def test_batch_process_backend(self, budget, fault_seed):
+        """Batch mode composes with the process pool: batch+process must
+        still match row+serial byte-for-byte."""
+        check_parity(lambda: workloads.spatial_database(25, 120),
+                     workloads.SPATIAL_SQL, budget, fault_seed,
+                     backend="process")
+
+
+class TestBatchDeterminism:
+    def test_two_batch_runs_identical(self):
+        """Batch mode is internally deterministic: two identical runs
+        agree on the *full* metrics dict, new counters included."""
+        runs = []
+        for _ in range(2):
+            db = workloads.interval_database(120)
+            db.set_execution("batch")
+            result = db.execute(workloads.INTERVAL_SQL)
+            m = result.metrics.to_dict(db.cluster.cores)
+            m.pop("wall_seconds")
+            runs.append(([tuple(sorted(r.items())) for r in result.rows], m))
+        assert runs[0] == runs[1]
+
+    def test_amortization_floor(self):
+        """The tentpole's headline win: batch mode needs at least 3x
+        fewer operator invocations than row mode."""
+        for build, sql in (
+            (lambda: workloads.spatial_database(25, 120),
+             workloads.SPATIAL_SQL),
+            (lambda: workloads.interval_database(120),
+             workloads.INTERVAL_SQL),
+            (lambda: workloads.text_database(80),
+             workloads.TEXT_SQL.format(threshold=0.9)),
+        ):
+            _, row_m = run_query(build, sql, "row")
+            _, batch_m = run_query(build, sql, "batch")
+            assert batch_m["batches"] > 0
+            assert row_m["batches"] == 0
+            assert (batch_m["operator_invocations"] * 3
+                    <= row_m["operator_invocations"])
+
+    def test_batch_telemetry_counters(self):
+        db = workloads.spatial_database(25, 120)
+        db.set_execution("batch")
+        db.execute(workloads.SPATIAL_SQL)
+        r = db.telemetry.registry
+        snapshot = r.to_json()
+        assert "fudj_batches_total" in snapshot
+        batches = [f for f in r.families()
+                   if f.name == "fudj_batches_total"][0]
+        assert batches.value() > 0
+        invocations = [f for f in r.families()
+                       if f.name == "fudj_operator_invocations_total"][0]
+        assert invocations.value() > 0
+        hist = [f for f in r.families() if f.name == "fudj_batch_rows"][0]
+        (key, series), = hist.samples()
+        assert series["count"] == batches.value()
+
+
+# -- RecordBatch / kernel unit tests -------------------------------------------
+
+
+SCHEMA = Schema(("a", "b"))
+
+
+def _rows(*pairs):
+    return [tuple(box(v) for v in pair) for pair in pairs]
+
+
+class TestRecordBatch:
+    def test_from_rows_round_trip(self):
+        rows = _rows((1, "x"), (2, "y"), (3, "z"))
+        batch = RecordBatch.from_rows(SCHEMA, rows)
+        assert batch.num_rows == 3
+        assert batch.rows() == rows
+        records = batch.to_records()
+        assert all(isinstance(r, Record) for r in records)
+        assert [r.values for r in records] == rows
+
+    def test_empty_batch(self):
+        batch = RecordBatch.from_rows(SCHEMA, [])
+        assert batch.num_rows == 0
+        assert batch.rows() == []
+        assert batch.take([]).num_rows == 0
+
+    def test_empty_schema(self):
+        """Zero columns still carries a row count (e.g. COUNT(*) over a
+        projection to nothing)."""
+        batch = RecordBatch(Schema(()), [], rows=4)
+        assert batch.num_rows == 4
+        assert batch.rows() == [(), (), (), ()]
+
+    def test_take_composes_with_selection(self):
+        rows = _rows((1, "a"), (2, "b"), (3, "c"), (4, "d"))
+        batch = RecordBatch.from_rows(SCHEMA, rows)
+        first = batch.take([0, 2, 3])       # rows 1, 3, 4
+        second = first.take([1, 2])         # rows 3, 4 — indexes LIVE rows
+        assert second.rows() == [rows[2], rows[3]]
+        compacted = second.compact()
+        assert compacted.selection is None
+        assert compacted.rows() == second.rows()
+
+    def test_batches_chunk_at_boundary(self):
+        class Ctx:
+            batch_rows = 3
+
+            class metrics:
+                @staticmethod
+                def note_batch(rows):
+                    pass
+
+        rows = _rows(*[(i, "r") for i in range(7)])
+        batches = batches_from_rows(Ctx(), SCHEMA, rows)
+        assert [b.num_rows for b in batches] == [3, 3, 1]
+        assert [row for b in batches for row in b.rows()] == rows
+
+    def test_default_batch_rows(self):
+        assert DEFAULT_BATCH_ROWS == 1024
+        db = Database(batch_rows=2, execution="batch")
+        db.create_type("T", [("id", "int")])
+        db.create_dataset("Ts", "T", "id")
+        db.load("Ts", [{"id": i} for i in range(5)])
+        result = db.execute("SELECT t.id AS tid FROM Ts t")
+        assert sorted(r["tid"] for r in result.rows) == list(range(5))
+        assert result.metrics.batches > 0
+
+
+class TestKernels:
+    def test_filter_batch(self):
+        rows = _rows((1, "x"), (2, "y"), (3, "z"))
+        batch = RecordBatch.from_rows(SCHEMA, rows)
+        cursor = kernels.make_cursor(SCHEMA)
+        kept = kernels.filter_batch(
+            batch, lambda r: r["a"].value >= 2, cursor)
+        assert kept.rows() == rows[1:]
+
+    def test_filter_empty_result(self):
+        batch = RecordBatch.from_rows(SCHEMA, _rows((1, "x")))
+        cursor = kernels.make_cursor(SCHEMA)
+        kept = kernels.filter_batch(batch, lambda r: False, cursor)
+        assert kept.num_rows == 0
+
+    def test_project_batch_zero_copy(self):
+        rows = _rows((1, "x"), (2, "y"))
+        batch = RecordBatch.from_rows(SCHEMA, rows)
+        out = kernels.project_batch(batch, [1], Schema(("b",)))
+        assert out.columns[0] is batch.columns[1]
+        assert out.rows() == [(row[1],) for row in rows]
+
+    def test_distinct_batch_folds_across_batches(self):
+        seen = set()
+        first = RecordBatch.from_rows(SCHEMA, _rows((1, "x"), (1, "x")))
+        second = RecordBatch.from_rows(SCHEMA, _rows((1, "x"), (2, "y")))
+        a = kernels.distinct_batch(first, seen)
+        b = kernels.distinct_batch(second, seen)
+        assert a.num_rows == 1
+        assert b.rows() == _rows((2, "y"))
+
+    def test_scatter_batch_preserves_send_order(self):
+        rows = _rows((0, "a"), (1, "b"), (2, "c"), (3, "d"))
+        batch = RecordBatch.from_rows(SCHEMA, rows)
+        out_rows = [[], []]
+        moved = []
+        kernels.scatter_batch(batch, lambda row: row[0], 2, 0,
+                              out_rows, moved)
+        # Row-mode routing: hash(key) % 2, moved = rows landing off-worker.
+        expected = [[], []]
+        expected_moved = []
+        for row in rows:
+            target = hash(row[0]) % 2
+            expected[target].append(row)
+            if target != 0:
+                expected_moved.append(row)
+        assert out_rows == expected
+        assert moved == expected_moved
+
+
+class TestRowSpillCodec:
+    def test_round_trip(self):
+        codec = RowSpillCodec()
+        row = tuple(box(v) for v in (7, "payload"))
+        payload = codec.encode(row)
+        assert payload is not None
+        assert codec.decode(payload) == row
+        record_size = Record(SCHEMA, row).serialized_size()
+        assert codec.size(row) == record_size
+
+    def test_raw_state_pins(self):
+        """Rows holding opaque FUDJ state are unspillable — encode
+        returns None so the accountant pins them, exactly like row
+        mode's RecordSpillCodec."""
+        codec = RowSpillCodec()
+        assert codec.encode((box(1), RawState((object(),)))) is None
+        assert codec.encode("not-a-tuple") is None
+
+
+# -- Database / shell surface ---------------------------------------------------
+
+
+class TestExecutionSurface:
+    def test_default_is_row(self):
+        assert Database().execution == "row"
+
+    def test_kwarg(self):
+        assert Database(execution="batch").execution == "batch"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("FUDJ_EXEC", "batch")
+        assert Database().execution == "batch"
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("FUDJ_EXEC", "batch")
+        assert Database(execution="row").execution == "row"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(PlanError):
+            Database(execution="columnar")
+        db = Database()
+        with pytest.raises(PlanError):
+            db.set_execution("vectorized")
+        assert db.execution == "row"
+
+    def test_set_execution(self):
+        db = workloads.spatial_database(25, 120)
+        db.set_execution("batch")
+        batch = db.execute(workloads.SPATIAL_SQL)
+        db.set_execution("row")
+        row = db.execute(workloads.SPATIAL_SQL)
+        assert (sorted(map(str, batch.rows)) == sorted(map(str, row.rows)))
+
+    def test_shell_exec_command(self):
+        lines = []
+        shell = Shell(write=lines.append)
+        shell.feed(".exec")
+        assert lines[-1] == "execution = row"
+        shell.feed(".exec batch")
+        assert lines[-1] == "execution = batch"
+        shell.feed(".exec bogus")
+        assert lines[-1] == "usage: .exec row|batch|show"
+        shell.feed(".exec show")
+        assert lines[-1] == "execution = batch"
+
+    def test_trace_has_batch_spans(self):
+        db = workloads.spatial_database(25, 120)
+        db.set_execution("batch")
+        result = db.execute(workloads.SPATIAL_SQL, trace=True)
+        spans = list(result.trace.walk())
+        assert any(span.meta.get("batches_out") for span in spans)

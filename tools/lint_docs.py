@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs linter: keep the documented surface honest.
 
-Five checks over ``README.md`` and ``docs/*.md``:
+Six checks over ``README.md`` and ``docs/*.md``:
 
 1. **Links resolve.** Every relative markdown link (and image) points at
    a file or directory that exists; fragment-only links and absolute
@@ -18,6 +18,10 @@ Five checks over ``README.md`` and ``docs/*.md``:
 5. **CLI flags are documented.** Every ``--flag`` the shell advertises
    in its usage text (``repro.cli``'s module docstring) is mentioned
    somewhere in the docs.
+6. **Execution modes are documented.** Every mode in
+   ``repro.engine.batch.EXECUTION_MODES`` appears as a literal
+   ``execution="<mode>"`` usage, and the ``FUDJ_EXEC`` environment
+   override is mentioned.
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -89,6 +93,30 @@ def sys_tables() -> set:
     return set(SYS_TABLES)
 
 
+def execution_modes() -> tuple:
+    from repro.engine.batch import EXECUTION_MODES
+
+    return EXECUTION_MODES
+
+
+def check_execution_modes(files: list) -> list:
+    """Every execution granularity must be shown in its call form.
+
+    Plain substring search, not :func:`check_mentions` — the needles end
+    in a closing quote, where a ``\\b`` word boundary never matches."""
+    corpus = "\n".join(path.read_text() for path in files)
+    problems = []
+    for mode in execution_modes():
+        literal = f'execution="{mode}"'
+        if literal not in corpus:
+            problems.append(f"execution mode {literal} is not documented "
+                            "in README.md or docs/")
+    if "FUDJ_EXEC" not in corpus:
+        problems.append("environment override 'FUDJ_EXEC' is not "
+                        "documented in README.md or docs/")
+    return problems
+
+
 def check_mentions(files: list, needles: set, what: str) -> list:
     corpus = "\n".join(path.read_text() for path in files)
     problems = []
@@ -113,6 +141,7 @@ def main() -> int:
     problems += check_mentions(files, database_kwargs(), "Database kwarg")
     problems += check_mentions(files, sys_tables(), "sys table")
     problems += check_mentions(files, cli_flags(), "CLI flag")
+    problems += check_execution_modes(files)
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
@@ -122,7 +151,8 @@ def main() -> int:
           f"({len(shell_dot_commands())} dot-commands, "
           f"{len(database_kwargs())} Database kwargs, "
           f"{len(sys_tables())} sys tables, "
-          f"{len(cli_flags())} CLI flags checked)")
+          f"{len(cli_flags())} CLI flags, "
+          f"{len(execution_modes())} execution modes checked)")
     return 0
 
 
