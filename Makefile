@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch bench bench-check perf-gate lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch test-optimizer bench bench-check perf-gate lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,10 @@ test-resources:   ## memory budgets, spill, admission, circuit breakers
 test-workers:     ## supervised process-pool backend: parity, crashes, recovery
 	$(PYTHON) -m pytest tests/test_workers.py -q
 	$(PYTHON) benchmarks/bench_fig10_scalability.py --backend process --workers 2 --out /tmp/fudj-fig10-measured.json
+
+test-optimizer:   ## cost-based optimizer: estimates, ordering, parity, plan quality
+	$(PYTHON) -m pytest tests/test_optimizer_cost.py tests/test_optimizer_parity.py -q
+	$(PYTHON) benchmarks/bench_optimizer.py --out /tmp/fudj-optimizer-plan-quality.json
 
 test-batch:       ## vectorized batch execution: row-parity, kernels, perf gate
 	$(PYTHON) -m pytest tests/test_batch.py -q

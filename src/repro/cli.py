@@ -24,6 +24,10 @@ Usage::
                                            # operators (row is the
                                            # default; rows and metrics
                                            # stay byte-identical)
+    python -m repro --optimizer cost       # stats-driven join ordering
+                                           # and physical operator
+                                           # selection (rule is the
+                                           # deterministic default)
 
 Inside the shell, statements end with ``;``.  Dot-commands control the
 session:
@@ -61,6 +65,12 @@ session:
                                 vectorized kernels; rows and
                                 deterministic metrics stay
                                 byte-identical to row mode)
+    .opt rule|cost|show         query optimizer: rule (written join
+                                order, partitioned hash joins) or cost
+                                (pessimistic cardinality bounds drive
+                                join ordering and hash vs. broadcast
+                                selection; EXPLAIN shows the bounds and
+                                sys.plans records them per query)
     .demo spatial|interval|text load a synthetic demo workload
     .save <dir>                 persist the database to disk
     .open <dir>                 load a database saved with .save
@@ -140,6 +150,9 @@ class Shell:
                                      trace=self.trace)
         except ReproError as exc:
             self.write(f"error: {exc}")
+            return
+        except Exception as exc:  # defensive: never dump a traceback
+            self.write(f"internal error ({type(exc).__name__}): {exc}")
             return
         if result.trace is not None:
             self.last_trace = result.trace
@@ -318,6 +331,14 @@ class Shell:
                 self.write(f"execution = {self.db.execution}")
             else:
                 self.write("usage: .exec row|batch|show")
+        elif name == ".opt":
+            if not args or args[0] == "show":
+                self.write(f"optimizer = {self.db.optimizer}")
+            elif args[0] in ("rule", "cost"):
+                self.db.set_optimizer(args[0])
+                self.write(f"optimizer = {self.db.optimizer}")
+            else:
+                self.write("usage: .opt rule|cost|show")
         elif name == ".timing":
             if args and args[0] in ("on", "off"):
                 self.timing = args[0] == "on"
@@ -384,6 +405,7 @@ class Shell:
         self.db.workers = previous.workers
         self.db.set_backend(previous.backend)
         self.db.set_execution(previous.execution)
+        self.db.set_optimizer(previous.optimizer)
         previous.close()  # release the old database's worker pool
         queries = {
             "spatial": workloads.SPATIAL_SQL,
@@ -412,6 +434,14 @@ def main(argv=None) -> int:
     memory_budget = None
     backend = None
     execution = None
+    optimizer = None
+    if "--optimizer" in argv:
+        at = argv.index("--optimizer")
+        if at + 1 >= len(argv) or argv[at + 1] not in ("rule", "cost"):
+            print("--optimizer needs rule or cost", file=sys.stderr)
+            return 1
+        optimizer = argv[at + 1]
+        del argv[at:at + 2]
     if "--backend" in argv:
         at = argv.index("--backend")
         if at + 1 >= len(argv) or argv[at + 1] not in ("serial", "process"):
@@ -460,7 +490,8 @@ def main(argv=None) -> int:
         shell = Shell(db=Database(fault_plan=fault_plan,
                                   memory_budget=memory_budget,
                                   backend=backend,
-                                  execution=execution))
+                                  execution=execution,
+                                  optimizer=optimizer))
     except ReproError as exc:
         print(f"bad --memory-budget value: {exc}", file=sys.stderr)
         return 1
@@ -471,6 +502,9 @@ def main(argv=None) -> int:
     if shell.db.execution == "batch":
         print("batch execution active: operators run vectorized kernels "
               "over columnar record batches")
+    if shell.db.optimizer == "cost":
+        print("cost optimizer active: stats-driven join ordering and "
+              "physical operator selection")
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.describe()}")
     if shell.db.memory_budget is not None:

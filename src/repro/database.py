@@ -58,7 +58,18 @@ from repro.errors import (
     ReproError,
     TaskFailedError,
 )
-from repro.optimizer import ExecutionMode, bind_select, optimize, plan_physical
+from repro.optimizer import (
+    OPTIMIZER_MODES,
+    CardinalityEstimator,
+    ExecutionMode,
+    SelectionContext,
+    annotate_estimates,
+    bind_select,
+    default_selection,
+    enumerate_join_order,
+    optimize,
+    plan_physical,
+)
 from repro.query.functions import default_function_registry
 from repro.query.logical import (
     CreateDatasetStatement,
@@ -128,6 +139,17 @@ class Database:
       environment variable when unset.
     * ``batch_rows`` — target rows per batch in batch mode (default
       1024).
+
+    Query optimizer:
+
+    * ``optimizer`` — ``"rule"`` (the written FROM order with the FUDJ
+      rewrite and pushdown, the deterministic default) or ``"cost"``
+      (stats-driven: pessimistic cardinality bounds pick the join order
+      and the physical operator per join; EXPLAIN gains per-operator
+      estimates and ``sys.plans`` records estimates vs. actuals).
+      Defaults to the ``FUDJ_OPT`` environment variable when unset.
+      Single-join queries produce byte-identical rows under either
+      setting; see ``docs/query_optimizer.md``.
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
@@ -144,7 +166,8 @@ class Database:
                  backend: str = None,
                  workers: int = None,
                  execution: str = None,
-                 batch_rows: int = None) -> None:
+                 batch_rows: int = None,
+                 optimizer: str = None) -> None:
         self._base_cost_model = cost_model or CostModel()
         self.memory_budget = _check_budget(memory_budget)
         self.max_concurrent = max_concurrent
@@ -184,6 +207,11 @@ class Database:
             else os.environ.get("FUDJ_EXEC") or "row"
         )
         self.batch_rows = batch_rows
+        self._optimizer = _check_optimizer(
+            optimizer if optimizer is not None
+            else os.environ.get("FUDJ_OPT") or "rule"
+        )
+        self._pending_plan_rows = None
         register_sys_tables(self)
 
     # -- SQL entry points -----------------------------------------------------------
@@ -193,7 +221,7 @@ class Database:
                 summarize_sample: float = 1.0, fault_plan=_UNSET,
                 on_error: str = None,
                 query_timeout: float = _UNSET,
-                trace=_UNSET) -> QueryResult:
+                trace=_UNSET, optimizer: str = None) -> QueryResult:
         """Parse and run one SQL statement.
 
         Args:
@@ -220,6 +248,8 @@ class Database:
             trace: per-query override of the instance ``trace`` flag;
                 when True the result carries a structured span trace on
                 :attr:`QueryResult.trace`.
+            optimizer: per-query override of the instance optimizer
+                (``"rule"`` / ``"cost"``).
         """
         faults = (self.fault_plan if fault_plan is _UNSET
                   else _to_fault_plan(fault_plan))
@@ -230,37 +260,41 @@ class Database:
         mode_text = mode.value if isinstance(mode, ExecutionMode) else str(mode)
         started = time.perf_counter()
         kind = "invalid"
+        self._pending_plan_rows = None
         try:
             statement = parse_statement(sql)
             kind = _statement_kind(statement)
             result = self._execute_statement(
                 statement, mode, dedup, measure_bytes, summarize_sample,
-                faults, policy, timeout, tracing)
+                faults, policy, timeout, tracing, optimizer)
         except ReproError as exc:
             self.telemetry.record_statement(
                 sql, kind, mode_text, _error_status(exc), error=exc,
                 cores=self.cluster.cores,
-                wall_seconds=time.perf_counter() - started)
+                wall_seconds=time.perf_counter() - started,
+                plan_rows=self._pending_plan_rows)
             raise
         self.telemetry.record_statement(
             sql, kind, mode_text, "ok", metrics=result.metrics,
             rows=len(result.rows), trace=result.trace,
             cores=result.cores or self.cluster.cores,
-            wall_seconds=time.perf_counter() - started)
+            wall_seconds=time.perf_counter() - started,
+            plan_rows=self._pending_plan_rows)
         return result
 
     def _execute_statement(self, statement, mode, dedup, measure_bytes,
                            summarize_sample, faults, policy, timeout,
-                           tracing) -> QueryResult:
+                           tracing, optimizer=None) -> QueryResult:
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
-                                     summarize_sample)
+                                     summarize_sample, optimizer)
             return self._run_plan(plan, measure_bytes, faults, policy,
                                   timeout, tracing)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement, _to_mode(mode),
                                          _to_dedup(dedup), measure_bytes,
-                                         faults, policy, timeout)
+                                         faults, policy, timeout,
+                                         optimizer=optimizer)
         return self._execute_ddl(statement)
 
     # -- resource governance --------------------------------------------------------
@@ -460,43 +494,98 @@ class Database:
         """
         return self.telemetry.snapshot(fmt)
 
-    def explain(self, sql: str, mode="fudj") -> str:
+    # -- query optimizer ------------------------------------------------------------
+
+    @property
+    def optimizer(self) -> str:
+        """The active optimizer (``"rule"`` or ``"cost"``)."""
+        return self._optimizer
+
+    def set_optimizer(self, optimizer: str) -> None:
+        """Switch between the rule and cost optimizers; takes effect for
+        the next query.  Single-join queries return byte-identical rows
+        under both."""
+        self._optimizer = _check_optimizer(optimizer)
+
+    def explain(self, sql: str, mode="fudj", optimizer: str = None) -> str:
         """The optimized physical plan of a SELECT, as indented text."""
         statement = parse_statement(sql)
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN supports SELECT statements only")
-        plan = self._plan_select(statement, _to_mode(mode), None)
+        plan = self._plan_select(statement, _to_mode(mode), None,
+                                 optimizer=optimizer)
         return plan.explain()
 
     def _plan_select(self, statement: SelectStatement, mode: ExecutionMode,
-                     dedup: DedupStrategy, summarize_sample: float = 1.0):
+                     dedup: DedupStrategy, summarize_sample: float = 1.0,
+                     optimizer: str = None):
+        opt = (self._optimizer if optimizer is None
+               else _check_optimizer(optimizer))
         bound = bind_select(statement, self.catalog, self.functions, self.joins)
         output_order = [
             item.output_name(i) for i, item in enumerate(statement.items)
         ]
-        logical = optimize(bound, self.joins, mode, output_order)
-        return plan_physical(
+        if opt == "cost":
+            logical = self._cost_optimize(bound, mode, output_order)
+        else:
+            logical = optimize(bound, self.joins, mode, output_order)
+        plan = plan_physical(
             logical, self.joins, mode, self.cluster.cost_model,
             dedup=dedup, builtin_factories=self.builtin_factories,
             summarize_sample=summarize_sample,
         )
+        self._pending_plan_rows = _plan_report_rows(plan, opt)
+        return plan
+
+    def _cost_optimize(self, bound, mode: ExecutionMode, output_order):
+        """The three cost-based stages: pessimistic cardinality bounds,
+        upper-bound join ordering, and chained physical operator
+        selection (see ``docs/query_optimizer.md``)."""
+        estimator = CardinalityEstimator(self.cluster)
+        order = enumerate_join_order(bound, estimator)
+        logical = optimize(bound, self.joins, mode, output_order,
+                           table_order=order.aliases)
+        annotate_estimates(logical, estimator, bound.aliases)
+        # The parity contract: queries of at most two tables keep the
+        # rule plan's operators exactly (estimates are the only
+        # annotation), so single-join cost plans stay byte-identical
+        # to rule plans.  Selection engages on multi-join queries.
+        if len(bound.aliases) > 2:
+            context = SelectionContext(
+                cost_model=self.cluster.cost_model,
+                num_partitions=self.cluster.num_partitions,
+                aliases=bound.aliases,
+                estimator=estimator,
+                breaker=self.breaker,
+            )
+            default_selection().select_physical_operators(logical, context)
+        return logical
 
     def _execute_explain(self, statement: ExplainStatement,
                          mode: ExecutionMode, dedup, measure_bytes,
                          fault_plan=None, on_error: str = "fail",
-                         timeout: float = None) -> QueryResult:
+                         timeout: float = None,
+                         optimizer: str = None) -> QueryResult:
         """EXPLAIN: plan text (one row per line); ANALYZE adds a
         per-stage profile, the span trace tree, and skew diagnostics
-        from a real (traced) execution."""
+        from a real (traced) execution.  Under the cost optimizer,
+        ANALYZE also tabulates estimated vs. actual rows per stage."""
         from repro.engine.metrics import QueryMetrics
 
-        plan = self._plan_select(statement.select, mode, dedup)
+        opt = (self._optimizer if optimizer is None
+               else _check_optimizer(optimizer))
+        plan = self._plan_select(statement.select, mode, dedup,
+                                 optimizer=opt)
+        plan_rows = self._pending_plan_rows
         lines = plan.explain().splitlines()
         metrics = QueryMetrics(self.cluster.cost_model)
         if statement.analyze:
             executed = self._run_plan(plan, measure_bytes, fault_plan,
                                       on_error, timeout, True)
             metrics = executed.metrics
+            if opt == "cost" and plan_rows:
+                lines.append("")
+                lines.extend(_estimate_report_lines(plan_rows, metrics))
             lines.append("")
             lines.extend(metrics.profile(self.cluster.cores).splitlines())
             lines.append("")
@@ -692,6 +781,64 @@ def _check_execution(execution: str) -> str:
             f"use {'/'.join(EXECUTION_MODES)}"
         )
     return execution
+
+
+def _check_optimizer(optimizer: str) -> str:
+    if optimizer not in OPTIMIZER_MODES:
+        raise PlanError(
+            f"unknown optimizer {optimizer!r}; "
+            f"use {'/'.join(OPTIMIZER_MODES)}"
+        )
+    return optimizer
+
+
+def _plan_report_rows(plan, optimizer: str):
+    """Flatten a physical plan into ``sys.plans`` rows (preorder walk,
+    one row per operator).  ``est_rows`` is -1.0 for operators the
+    optimizer did not annotate (all of them under ``rule``)."""
+    rows = []
+
+    def _walk(op):
+        est = getattr(op, "est_rows", None)
+        rows.append({
+            "seq": len(rows),
+            "optimizer": optimizer,
+            "stage": op.stage_name,
+            "operator": op.label,
+            "detail": op.describe(),
+            "est_rows": float(est) if est is not None else -1.0,
+        })
+        for child in op.children():
+            _walk(child)
+
+    _walk(plan)
+    return rows
+
+
+def _estimate_report_lines(plan_rows, metrics):
+    """EXPLAIN ANALYZE's estimates-vs-actuals table (cost mode only).
+
+    Pessimistic bounds should dominate actuals; a ``!`` flag marks any
+    stage where they do not, which is the signal the estimator's upper
+    bound was violated.
+    """
+    from repro.engine.operators.base import format_estimate
+
+    actuals = {stage.name: stage.records_out for stage in metrics.stages}
+    lines = ["estimates vs. actuals (rows):"]
+    for row in plan_rows:
+        est = row["est_rows"]
+        actual = actuals.get(row["stage"])
+        est_text = format_estimate(est) if est >= 0 else "-"
+        actual_text = str(actual) if actual is not None else "-"
+        flag = ""
+        if est >= 0 and actual is not None and actual > est:
+            flag = "  !bound-exceeded"
+        lines.append(
+            f"  {row['stage']:<28} est<={est_text:<12} "
+            f"actual={actual_text}{flag}"
+        )
+    return lines
 
 
 def _check_policy(on_error: str) -> str:

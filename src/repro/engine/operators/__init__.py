@@ -21,7 +21,11 @@ from repro.engine.operators.aggregate import (
     ScalarAggregate,
     SumAgg,
 )
-from repro.engine.operators.join import BlockNestedLoopJoin, HashJoin
+from repro.engine.operators.join import (
+    BlockNestedLoopJoin,
+    BroadcastHashJoin,
+    HashJoin,
+)
 from repro.engine.operators.sort import Sort
 from repro.engine.operators.unnest import Unnest
 from repro.engine.operators.fudj_join import FudjJoin
@@ -46,6 +50,7 @@ __all__ = [
     "MinAgg",
     "MaxAgg",
     "HashJoin",
+    "BroadcastHashJoin",
     "BlockNestedLoopJoin",
     "Sort",
     "Unnest",

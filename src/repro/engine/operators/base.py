@@ -11,6 +11,16 @@ from repro.engine.record import Schema
 _IDS = itertools.count(1)
 
 
+def format_estimate(value: float) -> str:
+    """Deterministic short rendering of a row bound: integers print
+    plain, non-integers keep one decimal, infinities print ``inf``."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return "inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.1f}"
+
+
 @dataclass
 class OperatorResult:
     """Output of one physical operator: partitions plus their schema.
@@ -47,6 +57,10 @@ class PhysicalOperator:
     """
 
     label = "operator"
+
+    #: Pessimistic row bound attached by the cost-based optimizer; rule
+    #: plans leave it None and render exactly as before.
+    est_rows = None
 
     def __init__(self) -> None:
         self.stage_name = f"{self.label}#{next(_IDS)}"
@@ -87,8 +101,15 @@ class PhysicalOperator:
         return self.run(ctx)
 
     def explain(self, indent: int = 0) -> str:
-        """A one-operator-per-line plan rendering (children indented)."""
-        lines = [" " * indent + self.describe()]
+        """A one-operator-per-line plan rendering (children indented).
+
+        Cost-optimized plans carry pessimistic row bounds; each is
+        rendered as ``[est<=N rows]`` after the operator description.
+        """
+        line = " " * indent + self.describe()
+        if self.est_rows is not None:
+            line += f"  [est<={format_estimate(self.est_rows)} rows]"
+        lines = [line]
         for child in self.children():
             lines.append(child.explain(indent + 2))
         return "\n".join(lines)

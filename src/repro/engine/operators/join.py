@@ -101,6 +101,92 @@ class HashJoin(PhysicalOperator):
         return OperatorResult(out, schema)
 
 
+class BroadcastHashJoin(PhysicalOperator):
+    """Hash equi-join with the right (build) side broadcast.
+
+    The left input stays where it is; the right input is broadcast to
+    every worker over the shared fabric, each worker builds a hash table
+    over the full right side and probes with its local left fragment.
+    Chosen by the cost-based operator selection when the build side's
+    estimated bytes fit one worker's memory grant and replicating it is
+    cheaper than shuffling both sides (small-dimension joins).  Pays the
+    same hash/probe/pair unit prices as :class:`HashJoin`; what changes
+    is the exchange: fabric broadcast bytes instead of point-to-point
+    shuffles.
+    """
+
+    label = "broadcast-hash-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key, right_key, residual=None,
+                 residual_cost: float = None) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.residual_cost = residual_cost
+
+    def describe(self) -> str:
+        return ("BROADCAST HASH JOIN (broadcast right)"
+                + (" (+residual)" if self.residual else ""))
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+    def run(self, ctx: ExecutionContext) -> OperatorResult:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        right_parts = broadcast_exchange(
+            right.partitions, ctx, f"{self.stage_name}/broadcast"
+        )
+        schema = left.schema.concat(right.schema)
+        stage = ctx.metrics.stage(self.stage_name)
+        model = ctx.cost_model
+        res_cost = (
+            self.residual_cost if self.residual_cost is not None else model.comparison
+        )
+        out = []
+        for worker in range(ctx.num_partitions):
+
+            def task(worker=worker):
+                # The broadcast copy is this worker's resident build state;
+                # admit it through the accountant like any hash build.
+                build = ctx.admit(
+                    stage, worker, right_parts[worker],
+                    RecordSpillCodec(right.schema),
+                )
+                table = defaultdict(list)
+                for record in build:
+                    table[self.right_key(record)].append(record)
+                stage.charge(worker, len(build) * model.hash_op)
+                rows = []
+                probes = 0
+                pairs = 0
+                for l_record in left.partitions[worker]:
+                    probes += 1
+                    for r_record in table.get(self.left_key(l_record), ()):
+                        pairs += 1
+                        joined = l_record.concat(r_record, schema)
+                        if self.residual is not None and not self.residual(joined):
+                            continue
+                        rows.append(joined)
+                stage.charge(
+                    worker,
+                    probes * model.hash_op
+                    + pairs * (model.record_touch
+                               + (res_cost if self.residual else 0)),
+                )
+                ctx.metrics.comparisons += pairs
+                return rows
+
+            out.append(ctx.run_task(stage, worker, task))
+        stage.records_in = len(left) + len(right)
+        stage.records_out = sum(len(p) for p in out)
+        return OperatorResult(out, schema)
+
+
 class BlockNestedLoopJoin(PhysicalOperator):
     """Broadcast nested-loop join with an arbitrary pair predicate.
 

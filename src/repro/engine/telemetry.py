@@ -431,6 +431,12 @@ SYS_WORKERS_FIELDS = (
     ("restarts", "int"), ("heartbeats", "int"), ("spill_dir", "string"),
 )
 
+SYS_PLANS_FIELDS = (
+    ("query_id", "int"), ("seq", "int"), ("optimizer", "string"),
+    ("stage", "string"), ("operator", "string"), ("detail", "string"),
+    ("est_rows", "double"), ("actual_rows", "int"),
+)
+
 #: Every registered ``sys.*`` table: name → field schema.  The docs
 #: linter checks each name here is documented in ``docs/``.
 SYS_TABLES = {
@@ -440,6 +446,7 @@ SYS_TABLES = {
     "sys.metrics": SYS_METRICS_FIELDS,
     "sys.resources": SYS_RESOURCES_FIELDS,
     "sys.workers": SYS_WORKERS_FIELDS,
+    "sys.plans": SYS_PLANS_FIELDS,
 }
 
 
@@ -559,16 +566,20 @@ class Telemetry:
     def record_statement(self, sql: str, kind: str, mode: str, status: str,
                          metrics=None, rows: int = 0, error=None,
                          trace=None, cores: int = 1,
-                         wall_seconds: float = 0.0) -> dict:
+                         wall_seconds: float = 0.0,
+                         plan_rows: list = None) -> dict:
         """Fold one finished ``execute()`` into history + registry.
 
         ``metrics`` is the query's :class:`QueryMetrics` (None for
         statements that never reached execution, e.g. parse errors);
-        ``trace`` the optional :class:`~repro.engine.tracing.Trace`.
-        Returns the appended history entry.
+        ``trace`` the optional :class:`~repro.engine.tracing.Trace`;
+        ``plan_rows`` the planned-operator rows from the optimizer
+        (surfaced through ``sys.plans`` with per-stage actuals joined
+        in).  Returns the appended history entry.
         """
         entry = self._build_entry(sql, kind, mode, status, metrics, rows,
-                                  error, trace, cores, wall_seconds)
+                                  error, trace, cores, wall_seconds,
+                                  plan_rows)
         self.history.append(entry)
         self._statements.inc(kind=kind)
         executed = metrics is not None and kind in ("select", "explain")
@@ -615,7 +626,7 @@ class Telemetry:
         return entry
 
     def _build_entry(self, sql, kind, mode, status, metrics, rows, error,
-                     trace, cores, wall_seconds) -> dict:
+                     trace, cores, wall_seconds, plan_rows=None) -> dict:
         entry = {
             "id": self.history.total_recorded + 1,
             "sql": sql.strip(),
@@ -653,6 +664,7 @@ class Telemetry:
             "traced": trace is not None,
             "stages": [],
             "callbacks": [],
+            "plans": [],
         }
         if metrics is not None:
             m = metrics.to_dict()
@@ -697,6 +709,22 @@ class Telemetry:
                     "imbalance": imbalance,
                 })
                 entry[f"{phase}_units"] += units
+        if plan_rows:
+            actuals = {}
+            if metrics is not None:
+                actuals = {stage.name: stage.records_out
+                           for stage in metrics.stages}
+            for plan_row in plan_rows:
+                entry["plans"].append({
+                    "query_id": entry["id"],
+                    "seq": plan_row["seq"],
+                    "optimizer": plan_row["optimizer"],
+                    "stage": plan_row["stage"],
+                    "operator": plan_row["operator"],
+                    "detail": plan_row["detail"],
+                    "est_rows": float(plan_row["est_rows"]),
+                    "actual_rows": int(actuals.get(plan_row["stage"], -1)),
+                })
         if trace is not None:
             for cb in trace.callback_rows():
                 entry["callbacks"].append({
@@ -785,6 +813,14 @@ class Telemetry:
         rows = []
         for entry in self.history.entries():
             rows.extend(entry["callbacks"])
+        return rows
+
+    def plans_rows(self) -> list:
+        """Planned operators (with estimates and joined actuals) of every
+        retained query — the ``sys.plans`` provider."""
+        rows = []
+        for entry in self.history.entries():
+            rows.extend(entry.get("plans", []))
         return rows
 
     def metrics_rows(self) -> list:
@@ -887,6 +923,7 @@ def register_sys_tables(db) -> None:
         "sys.metrics": telemetry.metrics_rows,
         "sys.resources": lambda: resources_rows(db),
         "sys.workers": lambda: workers_rows(db),
+        "sys.plans": telemetry.plans_rows,
     }
     for name, fields in SYS_TABLES.items():
         db.catalog.register_virtual_table(name, fields)

@@ -1,0 +1,192 @@
+"""Pluggable physical operator selection (PostBOUND-style, chainable).
+
+After the join order is fixed, a chain of
+:class:`PhysicalOperatorSelection` strategies walks the logical plan and
+assigns one physical strategy per join:
+
+* ``hash`` — partitioned hash join (the default for equi joins);
+* ``broadcast`` — broadcast hash join, chosen when the build side's
+  estimated bytes fit in one worker's memory grant and replicating it is
+  cheaper than shuffling both sides;
+* ``theta`` — broadcast nested-loop join (arbitrary predicates);
+* ``fudj`` — the FUDJ composite operator for registered joins.
+
+Strategies chain with :meth:`PhysicalOperatorSelection.chain_with`: each
+link may overwrite the assignment of earlier links, so a user strategy
+appended to the default chain gets the last word — the same contract as
+PostBOUND's ``select_physical_operators`` / ``next_selection`` protocol.
+
+The breaker-aware link consults per-library circuit-breaker state at
+*plan* time: a query that would run a FUDJ join whose library breaker is
+open fails fast with :class:`~repro.errors.BreakerOpenError` before any
+stage executes (the rule path only discovers this once the operator
+runs).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.query.logical import LEquiJoin, LFudjJoin, LNLJoin, LogicalNode
+
+#: Strategy names an assignment may carry (documented surface).
+JOIN_STRATEGIES = ("hash", "broadcast", "theta", "fudj")
+
+
+@dataclass
+class SelectionContext:
+    """Everything a selection strategy may consult."""
+
+    cost_model: object
+    num_partitions: int
+    aliases: dict = field(default_factory=dict)  # alias -> dataset name
+    estimator: object = None
+    breaker: object = None
+
+
+class OperatorAssignment:
+    """Physical strategy per logical join node (keyed by node identity)."""
+
+    def __init__(self) -> None:
+        self._strategies = {}
+        self._notes = {}
+
+    def assign(self, node: LogicalNode, strategy: str, note: str = "") -> None:
+        if strategy not in JOIN_STRATEGIES:
+            raise ValueError(f"unknown join strategy {strategy!r}")
+        self._strategies[id(node)] = strategy
+        self._notes[id(node)] = note
+
+    def strategy_of(self, node: LogicalNode) -> str:
+        return self._strategies.get(id(node))
+
+    def note_of(self, node: LogicalNode) -> str:
+        return self._notes.get(id(node), "")
+
+    def apply(self, root: LogicalNode) -> None:
+        """Stamp the chosen strategies onto the logical nodes (the
+        planner lowers ``strategy="broadcast"`` equi joins to the
+        broadcast hash operator)."""
+        for node in _walk(root):
+            strategy = self.strategy_of(node)
+            if strategy is not None:
+                node.strategy = strategy
+                note = self.note_of(node)
+                if note:
+                    node.strategy_note = note
+
+
+class PhysicalOperatorSelection(abc.ABC):
+    """One link of the operator-selection chain.
+
+    Subclasses implement :meth:`_apply`, writing choices into the shared
+    :class:`OperatorAssignment`; the base class runs the chain in order,
+    so later links overwrite earlier ones.
+    """
+
+    def __init__(self) -> None:
+        self.next_selection: PhysicalOperatorSelection = None
+
+    def chain_with(self, next_selection: "PhysicalOperatorSelection"
+                   ) -> "PhysicalOperatorSelection":
+        """Append a strategy to the end of this chain; returns self."""
+        tail = self
+        while tail.next_selection is not None:
+            tail = tail.next_selection
+        tail.next_selection = next_selection
+        return self
+
+    def select_physical_operators(self, root: LogicalNode,
+                                  context: SelectionContext
+                                  ) -> OperatorAssignment:
+        assignment = OperatorAssignment()
+        link = self
+        while link is not None:
+            link._apply(root, context, assignment)
+            link = link.next_selection
+        assignment.apply(root)
+        return assignment
+
+    @abc.abstractmethod
+    def _apply(self, root: LogicalNode, context: SelectionContext,
+               assignment: OperatorAssignment) -> None:
+        """Write this link's choices into ``assignment``."""
+
+
+class CostBasedOperatorSelection(PhysicalOperatorSelection):
+    """The default strategy: cost-model + memory-budget driven.
+
+    Equi joins hash by default; when the *right* (build-broadcast) side's
+    estimated wire bytes fit inside one worker's memory grant and its
+    replicated copies are estimated cheaper to move than shuffling the
+    (much larger) left side, the join broadcasts instead.  Theta joins
+    stay nested-loop; FUDJ joins stay on the composite operator.
+    """
+
+    def _apply(self, root, context, assignment) -> None:
+        for node in _walk(root):
+            if isinstance(node, LFudjJoin):
+                assignment.assign(node, "fudj")
+            elif isinstance(node, LNLJoin):
+                assignment.assign(node, "theta")
+            elif isinstance(node, LEquiJoin):
+                strategy, note = self._equi_choice(node, context)
+                assignment.assign(node, strategy, note)
+
+    def _equi_choice(self, node: LEquiJoin, context: SelectionContext):
+        estimator = context.estimator
+        left_rows = getattr(node.left, "est_rows", None)
+        right_rows = getattr(node.right, "est_rows", None)
+        if estimator is None or left_rows is None or right_rows is None:
+            return "hash", ""
+        right_bytes = right_rows * _side_row_bytes(
+            node.right, estimator, context.aliases)
+        budget = context.cost_model.worker_memory_bytes
+        fits = right_bytes <= budget
+        # Broadcast ships num_partitions copies of the right side over the
+        # shared fabric; hashing ships both sides once through the
+        # point-to-point shuffle.  Compare the byte volumes directly.
+        left_bytes = left_rows * _side_row_bytes(
+            node.left, estimator, context.aliases)
+        cheaper = (right_bytes * context.num_partitions
+                   < left_bytes + right_bytes)
+        if fits and cheaper:
+            return "broadcast", (
+                f"build {right_bytes:.0f}B fits {budget:.0f}B grant"
+            )
+        return "hash", ""
+
+
+class BreakerAwareSelection(PhysicalOperatorSelection):
+    """Fail-fast link: refuse plans whose FUDJ library breaker is open."""
+
+    def _apply(self, root, context, assignment) -> None:
+        breaker = context.breaker
+        if breaker is None or not getattr(breaker, "enabled", False):
+            return
+        for node in _walk(root):
+            if isinstance(node, LFudjJoin):
+                breaker.check(node.join_name)  # raises BreakerOpenError
+
+
+def default_selection() -> PhysicalOperatorSelection:
+    """The shipped chain: cost-based choice, then breaker enforcement."""
+    return CostBasedOperatorSelection().chain_with(BreakerAwareSelection())
+
+
+def _side_row_bytes(node: LogicalNode, estimator, aliases: dict) -> float:
+    """Estimated wire bytes per row of a subtree: the sum of its base
+    tables' per-row byte averages (join outputs concatenate rows)."""
+    total = 0.0
+    for leaf in _walk(node):
+        dataset = getattr(leaf, "dataset", None)
+        if isinstance(dataset, str):
+            total += estimator.row_bytes(dataset)
+    return total
+
+
+def _walk(node: LogicalNode):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.engine.operators import (
     AvgAgg,
     BlockNestedLoopJoin,
+    BroadcastHashJoin,
     CountAgg,
     CountDistinctAgg,
     Distinct,
@@ -83,6 +84,16 @@ class _Planner:
         self.summarize_sample = summarize_sample
 
     def lower(self, node: LogicalNode) -> PhysicalOperator:
+        op = self._lower(node)
+        # The cost optimizer annotates logical nodes with pessimistic
+        # bounds; carry them onto the physical operator so EXPLAIN can
+        # render estimates next to each stage.  Rule plans carry no
+        # annotation and render exactly as before.
+        if node.est_rows is not None and getattr(op, "est_rows", None) is None:
+            op.est_rows = node.est_rows
+        return op
+
+    def _lower(self, node: LogicalNode) -> PhysicalOperator:
         if isinstance(node, LScan):
             return Scan(node.dataset, node.alias)
         if isinstance(node, LFilter):
@@ -130,7 +141,11 @@ class _Planner:
             left = self.lower(node.left)
             right = self.lower(node.right)
             residual = node.residual
-            return HashJoin(
+            # "broadcast" comes from the cost-based operator selection;
+            # anything else (None, "hash") keeps the partitioned default.
+            join_cls = (BroadcastHashJoin if node.strategy == "broadcast"
+                        else HashJoin)
+            return join_cls(
                 left,
                 right,
                 node.left_expr.evaluate,

@@ -51,11 +51,21 @@ class ExecutionMode(enum.Enum):
 
 
 def optimize(query: BoundQuery, joins, mode: ExecutionMode = ExecutionMode.FUDJ,
-             output_order: list = None) -> LogicalNode:
-    """Build the full optimized logical plan for a bound query."""
+             output_order: list = None,
+             table_order: list = None) -> LogicalNode:
+    """Build the full optimized logical plan for a bound query.
+
+    ``table_order`` (a list of FROM aliases, from the cost-based
+    join-order enumerator) rebuilds the FROM skeleton left-deep in that
+    order before conjunct placement; when omitted the written FROM order
+    is kept — the rule optimizer's (and the pre-cost-optimizer) default.
+    """
     required = _required_fields(query)
     conjuncts = conjuncts_of(query.where)
-    root, remaining = _build_joins(query.root, conjuncts, joins, mode,
+    skeleton = query.root
+    if table_order is not None:
+        skeleton = _reorder_skeleton(query, table_order)
+    root, remaining = _build_joins(skeleton, conjuncts, joins, mode,
                                    required)
     if remaining:
         if mode is not ExecutionMode.ONTOP:
@@ -95,6 +105,20 @@ def optimize(query: BoundQuery, joins, mode: ExecutionMode = ExecutionMode.FUDJ,
         root = LOrderBy(root, order_keys)
     if query.limit is not None:
         root = LLimit(root, query.limit, query.offset or 0)
+    return root
+
+
+def _reorder_skeleton(query: BoundQuery, table_order: list) -> LogicalNode:
+    """A fresh left-deep Cartesian skeleton in the given alias order."""
+    if sorted(table_order) != sorted(query.aliases):
+        raise PlanError(
+            f"join order {table_order!r} does not cover the FROM aliases "
+            f"{sorted(query.aliases)!r}"
+        )
+    root = None
+    for alias in table_order:
+        scan = LScan(query.aliases[alias], alias)
+        root = scan if root is None else LCartesian(root, scan)
     return root
 
 

@@ -1,0 +1,284 @@
+"""Catalog statistics and pessimistic cardinality bounds.
+
+The cost-based optimizer never *guesses* selectivities — it computes
+**upper bounds** (UES-style pessimistic estimation) from statistics the
+engine already keeps: stored partition sizes (``total_bytes()``), row
+counts, and per-field distinct-value / maximum-frequency counts derived
+from the loaded data.  Because every per-operator estimate is a true
+upper bound, ``est <= actual`` can never hold — the monotonicity
+property ``actual <= est`` is tested in ``tests/test_optimizer_cost.py``
+and is what makes greedy minimization of the bound safe: an order whose
+*bound* is small is guaranteed to have small intermediate results.
+
+The estimate model (documented in ``docs/query_optimizer.md``):
+
+==================  ====================================================
+plan shape          upper bound
+==================  ====================================================
+scan of T           ``rows(T)``
+filter ``f = lit``  ``min(bound, max_freq(f))`` — no literal can match
+                    more rows than the most frequent value of ``f``
+any other filter    ``bound`` (a range/UDF predicate proves nothing)
+equi join           ``min(L * mf_R(rk), R * mf_L(lk), L * R)`` where
+                    ``mf`` is the key's maximum frequency — each row of
+                    one side matches at most that many rows of the
+                    other; the ``mf`` factor applies only when that side
+                    is a single base table (joins can amplify
+                    frequencies)
+theta / FUDJ join   ``L * R`` (the Cartesian bound; a flexible
+                    predicate proves nothing about its output)
+GROUP BY/DISTINCT   ``bound`` of the input (never more groups than rows)
+LIMIT n             ``min(bound, n + offset)``
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.query.ast import Column, Comparison, Expr, Literal, conjuncts_of
+from repro.query.logical import (
+    LCartesian,
+    LDistinct,
+    LEquiJoin,
+    LFilter,
+    LFudjJoin,
+    LGroupBy,
+    LLimit,
+    LNLJoin,
+    LPrune,
+    LScalarAgg,
+    LScan,
+    LogicalNode,
+)
+
+
+class TableProfile:
+    """Lazily computed statistics of one stored (or virtual) dataset.
+
+    ``rows`` and ``bytes`` come straight from the partitioned dataset;
+    per-field distinct counts and maximum frequencies are computed on
+    first use by one pass over the loaded records and cached.  Values
+    are the engine's boxed types, which hash and compare by value;
+    unhashable field types (geometries, lists) degrade to the
+    pessimistic ``distinct=1, max_freq=rows``.
+    """
+
+    def __init__(self, name: str, dataset) -> None:
+        self.name = name
+        self._dataset = dataset
+        self.rows = len(dataset) if dataset is not None else 0
+        self.bytes = dataset.total_bytes() if dataset is not None else 0
+        self._fields = {}
+
+    @property
+    def bytes_per_row(self) -> float:
+        if self.rows == 0:
+            return 0.0
+        return self.bytes / self.rows
+
+    def field_stats(self, field: str):
+        """``(distinct, max_freq)`` of one raw (unqualified) field."""
+        cached = self._fields.get(field)
+        if cached is not None:
+            return cached
+        counts = {}
+        unhashable = False
+        if self._dataset is not None:
+            for record in self._dataset.scan():
+                try:
+                    value = record[field]
+                except (KeyError, IndexError):
+                    unhashable = True
+                    break
+                try:
+                    counts[value] = counts.get(value, 0) + 1
+                except TypeError:
+                    unhashable = True
+                    break
+        if unhashable:
+            stats = (1, self.rows)
+        elif not counts:
+            stats = (0, 0)
+        else:
+            stats = (len(counts), max(counts.values()))
+        self._fields[field] = stats
+        return stats
+
+    def distinct(self, field: str) -> int:
+        return self.field_stats(field)[0]
+
+    def max_freq(self, field: str) -> int:
+        return self.field_stats(field)[1]
+
+
+class CardinalityEstimator:
+    """Derives pessimistic cardinality bounds from cluster statistics.
+
+    One instance is built per planned query, so the profiles it caches
+    reflect the data as of planning time.  Unknown datasets profile as
+    empty rather than raising — the binder has already validated the
+    catalog, and the estimator must never introduce a new error path.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self._profiles = {}
+
+    def profile(self, dataset_name: str) -> TableProfile:
+        found = self._profiles.get(dataset_name)
+        if found is None:
+            dataset = None
+            try:
+                if self.cluster.has_dataset(dataset_name):
+                    dataset = self.cluster.dataset(dataset_name)
+            except Exception:
+                dataset = None
+            found = TableProfile(dataset_name, dataset)
+            self._profiles[dataset_name] = found
+        return found
+
+    # -- base tables ----------------------------------------------------------
+
+    def base_bound(self, alias: str, dataset_name: str,
+                   conjuncts: list) -> float:
+        """Upper bound on one FROM entry after its single-alias filters."""
+        profile = self.profile(dataset_name)
+        bound = float(profile.rows)
+        for conjunct in conjuncts:
+            if _conjunct_aliases(conjunct) != {alias}:
+                continue
+            bound = min(bound, self._filter_bound(conjunct, profile, bound))
+        return bound
+
+    def _filter_bound(self, predicate: Expr, profile: TableProfile,
+                      bound: float) -> float:
+        """Bound after one single-table predicate (1.0-factor fallback)."""
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            column, other = predicate.left, predicate.right
+            if not isinstance(column, Column):
+                column, other = other, column
+            if isinstance(column, Column) and isinstance(other, Literal):
+                field = _raw_field(column)
+                if field is not None:
+                    return min(bound, float(profile.max_freq(field)))
+        return bound
+
+    # -- join keys ------------------------------------------------------------
+
+    def key_max_freq(self, key: Expr, aliases: dict) -> float:
+        """Maximum frequency of a join-key expression on its base table.
+
+        Only a plain qualified column has a known frequency; any computed
+        key degrades to the table's row count (every row could share one
+        key value).
+        """
+        if isinstance(key, Column):
+            alias = _column_alias(key)
+            field = _raw_field(key)
+            dataset_name = aliases.get(alias)
+            if dataset_name is not None and field is not None:
+                profile = self.profile(dataset_name)
+                return float(max(1, profile.max_freq(field)))
+        alias_set = {name.split(".", 1)[0] for name in key.referenced_fields()}
+        total = 0.0
+        for alias in alias_set:
+            dataset_name = aliases.get(alias)
+            if dataset_name is not None:
+                total = max(total, float(self.profile(dataset_name).rows))
+        return total if total else math.inf
+
+    def row_bytes(self, dataset_name: str) -> float:
+        return self.profile(dataset_name).bytes_per_row
+
+
+# -- plan annotation ----------------------------------------------------------
+
+
+def annotate_estimates(root: LogicalNode, estimator: CardinalityEstimator,
+                       aliases: dict) -> float:
+    """Walk a logical plan bottom-up, attaching ``est_rows`` to nodes.
+
+    Returns the root bound.  Annotation is additive — rule-optimized
+    plans are never walked, so their (un-annotated) EXPLAIN output stays
+    byte-identical.
+    """
+    bound = _node_bound(root, estimator, aliases)
+    root.est_rows = bound
+    return bound
+
+
+def _node_bound(node: LogicalNode, estimator, aliases: dict) -> float:
+    child_bounds = [
+        annotate_estimates(child, estimator, aliases)
+        for child in node.children()
+    ]
+    if isinstance(node, LScan):
+        return float(estimator.profile(node.dataset).rows)
+    if isinstance(node, LFilter):
+        bound = child_bounds[0]
+        alias_set = _expr_aliases(node.predicate)
+        if len(alias_set) == 1:
+            alias = next(iter(alias_set))
+            dataset_name = aliases.get(alias)
+            if dataset_name is not None:
+                profile = estimator.profile(dataset_name)
+                for conjunct in conjuncts_of(node.predicate):
+                    bound = min(bound, estimator._filter_bound(
+                        conjunct, profile, bound))
+        return bound
+    if isinstance(node, LEquiJoin):
+        left, right = child_bounds
+        bound = left * right
+        if _single_alias_base(node.right):
+            bound = min(bound, left * estimator.key_max_freq(
+                node.right_expr, aliases))
+        if _single_alias_base(node.left):
+            bound = min(bound, right * estimator.key_max_freq(
+                node.left_expr, aliases))
+        return bound
+    if isinstance(node, (LNLJoin, LFudjJoin, LCartesian)):
+        left, right = child_bounds
+        return left * right
+    if isinstance(node, LLimit):
+        return min(child_bounds[0], float(node.count + (node.offset or 0)))
+    if isinstance(node, (LGroupBy, LDistinct)):
+        return child_bounds[0]
+    if isinstance(node, LScalarAgg):
+        return 1.0
+    if child_bounds:
+        # Project / Prune / OrderBy / residual filters: row-preserving
+        # (or row-reducing in ways the model cannot prove).
+        return child_bounds[0]
+    return 0.0
+
+
+def _single_alias_base(node: LogicalNode) -> bool:
+    """True when a subtree reads exactly one base table (scan, possibly
+    pruned/filtered) — the only shape whose key frequencies cannot have
+    been amplified by an earlier join."""
+    while isinstance(node, (LFilter, LPrune)):
+        node = node.child
+    return isinstance(node, LScan)
+
+
+# -- small shared helpers -----------------------------------------------------
+
+
+def _expr_aliases(expr: Expr) -> set:
+    return {name.split(".", 1)[0] for name in expr.referenced_fields()}
+
+
+def _conjunct_aliases(conjunct: Expr) -> set:
+    return _expr_aliases(conjunct)
+
+
+def _column_alias(column: Column) -> str:
+    return column.name.split(".", 1)[0]
+
+
+def _raw_field(column: Column) -> str:
+    parts = column.name.split(".")
+    if len(parts) < 2:
+        return column.name
+    return parts[-1]

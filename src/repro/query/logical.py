@@ -102,7 +102,18 @@ class ExplainStatement:
 
 
 class LogicalNode:
-    """Base logical plan node."""
+    """Base logical plan node.
+
+    The cost-based optimizer annotates nodes in place: ``est_rows``
+    carries the pessimistic cardinality bound, ``strategy`` the physical
+    join strategy chosen by operator selection (``hash`` / ``broadcast``
+    / ``theta`` / ``fudj``).  Rule-optimized plans are never annotated,
+    so their rendering stays byte-identical.
+    """
+
+    est_rows = None
+    strategy = None
+    strategy_note = ""
 
     def children(self) -> list:
         return []

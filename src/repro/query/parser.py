@@ -58,6 +58,7 @@ _KEYWORDS = {
     "and", "or", "not", "asc", "desc", "create", "drop", "type",
     "dataset", "join", "returns", "at", "primary", "key", "true",
     "false", "null", "distinct", "explain", "analyze", "having", "offset", "on", "inner",
+    "cross",
 }
 
 
@@ -249,6 +250,13 @@ class Parser:
                 tables.append(self._table_ref())
                 self._expect("keyword", "on")
                 on_conditions.append(self._expr())
+                continue
+            if self._check("keyword", "cross"):
+                # CROSS JOIN t: a Cartesian member with no ON condition —
+                # the optimizer may still claim WHERE conjuncts for it.
+                self._advance()
+                self._expect("keyword", "join")
+                tables.append(self._table_ref())
                 continue
             break
         where = None

@@ -22,6 +22,12 @@ Six checks over ``README.md`` and ``docs/*.md``:
    ``repro.engine.batch.EXECUTION_MODES`` appears as a literal
    ``execution="<mode>"`` usage, and the ``FUDJ_EXEC`` environment
    override is mentioned.
+7. **Optimizer modes are documented.** Every mode in
+   ``repro.optimizer.OPTIMIZER_MODES`` appears as a literal
+   ``optimizer="<mode>"`` usage somewhere in the docs.
+8. **Environment overrides are documented.** Every ``FUDJ_*``
+   environment variable the source reads via ``os.environ`` is
+   mentioned somewhere in the docs.
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -117,6 +123,36 @@ def check_execution_modes(files: list) -> list:
     return problems
 
 
+def optimizer_modes() -> tuple:
+    from repro.optimizer import OPTIMIZER_MODES
+
+    return OPTIMIZER_MODES
+
+
+def check_optimizer_modes(files: list) -> list:
+    """Every optimizer mode must be shown in its call form (plain
+    substring search, as in :func:`check_execution_modes`)."""
+    corpus = "\n".join(path.read_text() for path in files)
+    problems = []
+    for mode in optimizer_modes():
+        literal = f'optimizer="{mode}"'
+        if literal not in corpus:
+            problems.append(f"optimizer mode {literal} is not documented "
+                            "in README.md or docs/")
+    return problems
+
+
+#: os.environ reads of a FUDJ_* variable anywhere in src/.
+_ENV_READ = re.compile(r"environ(?:\.get)?\(\s*[\"'](FUDJ_[A-Z_]+)[\"']")
+
+
+def env_vars() -> set:
+    names = set()
+    for path in sorted((REPO / "src").rglob("*.py")):
+        names.update(_ENV_READ.findall(path.read_text()))
+    return names
+
+
 def check_mentions(files: list, needles: set, what: str) -> list:
     corpus = "\n".join(path.read_text() for path in files)
     problems = []
@@ -142,6 +178,8 @@ def main() -> int:
     problems += check_mentions(files, sys_tables(), "sys table")
     problems += check_mentions(files, cli_flags(), "CLI flag")
     problems += check_execution_modes(files)
+    problems += check_optimizer_modes(files)
+    problems += check_mentions(files, env_vars(), "environment variable")
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
@@ -152,7 +190,9 @@ def main() -> int:
           f"{len(database_kwargs())} Database kwargs, "
           f"{len(sys_tables())} sys tables, "
           f"{len(cli_flags())} CLI flags, "
-          f"{len(execution_modes())} execution modes checked)")
+          f"{len(execution_modes())} execution modes, "
+          f"{len(optimizer_modes())} optimizer modes, "
+          f"{len(env_vars())} env vars checked)")
     return 0
 
 
