@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch test-optimizer bench bench-check perf-gate lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch test-optimizer test-events bench bench-check perf-gate lint-docs examples slow-examples shell clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,9 @@ test-workers:     ## supervised process-pool backend: parity, crashes, recovery
 test-optimizer:   ## cost-based optimizer: estimates, ordering, parity, plan quality
 	$(PYTHON) -m pytest tests/test_optimizer_cost.py tests/test_optimizer_parity.py -q
 	$(PYTHON) benchmarks/bench_optimizer.py --out /tmp/fudj-optimizer-plan-quality.json
+
+test-events:      ## structured event log + live monitor: determinism, parity, endpoints
+	$(PYTHON) -m pytest tests/test_events.py tests/test_monitor.py -q
 
 test-batch:       ## vectorized batch execution: row-parity, kernels, perf gate
 	$(PYTHON) -m pytest tests/test_batch.py -q

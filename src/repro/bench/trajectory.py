@@ -1,0 +1,128 @@
+"""Consolidated benchmark trajectory: one JSON file across suites.
+
+Every benchmark entry point that measures something worth tracking over
+time (the Fig 9 performance gate, the Fig 10 scalability runner) calls
+:func:`record` with its headline numbers.  All of them land in a single
+artifact — ``benchmarks/results/BENCH_trajectory.json`` — keyed by
+suite, so a CI run (or a human diffing two checkouts) sees the whole
+perf trajectory in one place instead of scraping per-suite stdout:
+
+.. code-block:: json
+
+    {
+      "format": "fudj-bench-trajectory",
+      "version": 1,
+      "suites": {
+        "fig9_performance": {
+          "suite": "fig9_performance",
+          "units": 10278.4,
+          "wall_seconds": 3.21,
+          "rows": 364,
+          "rows_per_second": 113.4,
+          "runs": 7,
+          "detail": {"row_units": 8942.1, "batch_units": 1336.3}
+        }
+      }
+    }
+
+The file is cumulative per checkout: a suite's entry is *replaced* on
+each run (keeping a ``runs`` counter), other suites' entries are left
+alone.  CI uploads the file as an artifact after the benchmark jobs.
+
+Fields are fixed meaning, not free-form:
+
+- ``units`` — charged simulated cpu units, when the suite measures
+  them (``None`` for wall-clock-only suites).
+- ``wall_seconds`` — real wall-clock of the measured portion.
+- ``rows`` — result rows produced by the measured queries.
+- ``rows_per_second`` — ``rows / wall_seconds``, derived here so every
+  suite computes it the same way.
+- ``detail`` — suite-specific extras (per-mode splits, speedups).
+
+Writes are atomic (tempfile + ``os.replace``) so a crashed benchmark
+never leaves a half-written trajectory behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+TRAJECTORY_FORMAT = "fudj-bench-trajectory"
+TRAJECTORY_VERSION = 1
+
+#: Default artifact location: ``benchmarks/results/BENCH_trajectory.json``
+#: at the repo root (this module lives at ``src/repro/bench/``).
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+DEFAULT_PATH = os.path.join(_REPO, "benchmarks", "results",
+                            "BENCH_trajectory.json")
+
+
+def _empty() -> dict:
+    return {
+        "format": TRAJECTORY_FORMAT,
+        "version": TRAJECTORY_VERSION,
+        "suites": {},
+    }
+
+
+def load(path: str = None) -> dict:
+    """The current trajectory document (a fresh empty one if the file
+    is missing, unreadable, or from a different format)."""
+    path = DEFAULT_PATH if path is None else path
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return _empty()
+    if (not isinstance(data, dict)
+            or data.get("format") != TRAJECTORY_FORMAT
+            or not isinstance(data.get("suites"), dict)):
+        return _empty()
+    return data
+
+
+def record(suite: str, units: float = None, wall_seconds: float = None,
+           rows: int = None, detail: dict = None, path: str = None) -> dict:
+    """Record one suite's headline numbers; returns the written entry.
+
+    Replaces the suite's previous entry (bumping its ``runs`` counter)
+    and leaves every other suite untouched.
+    """
+    if not suite:
+        raise ValueError("trajectory suite name must be non-empty")
+    path = DEFAULT_PATH if path is None else path
+    data = load(path)
+    previous = data["suites"].get(suite, {})
+    entry = {
+        "suite": suite,
+        "units": None if units is None else round(float(units), 6),
+        "wall_seconds": (None if wall_seconds is None
+                         else round(float(wall_seconds), 6)),
+        "rows": None if rows is None else int(rows),
+        "rows_per_second": None,
+        "runs": int(previous.get("runs", 0)) + 1,
+    }
+    if rows is not None and wall_seconds:
+        entry["rows_per_second"] = round(int(rows) / float(wall_seconds), 6)
+    if detail:
+        entry["detail"] = dict(detail)
+    data["suites"][suite] = entry
+
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                               prefix=".trajectory-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return entry

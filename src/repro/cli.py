@@ -12,6 +12,13 @@ Usage::
     python -m repro --metrics-out m.json   # write the telemetry snapshot
                                            # on exit (.prom/.txt for
                                            # Prometheus text exposition)
+    python -m repro --events-out e.jsonl   # tee every deterministic
+                                           # engine event to a JSONL
+                                           # file as it is emitted
+    python -m repro --monitor-port 8088    # serve the read-only live
+                                           # monitor (/healthz /metrics
+                                           # /queries /events
+                                           # /traces/<id>) on this port
     python -m repro --memory-budget 64kb   # per-worker memory budget:
                                            # over-budget operator state
                                            # spills to disk, admission
@@ -45,6 +52,11 @@ session:
                                 snapshot (JSON, or Prometheus for
                                 .prom/.txt paths), or zero the counters
                                 and clear the query history
+    .events [n]|save <path>|clear  the structured event log: print the
+                                newest n events (default 10) as
+                                canonical JSON lines, save the retained
+                                deterministic stream as JSONL, or drop
+                                the retained events
     .budget <bytes>|off|show    per-worker memory budget (e.g. 64kb,
                                 2mb): over-budget operator state spills
                                 to temp files and is charged through
@@ -274,6 +286,28 @@ class Shell:
                     self.write(f"metrics saved to {args[1]}")
             else:
                 self.write("usage: .metrics show|save <path>|reset")
+        elif name == ".events":
+            log = self.db.telemetry.events
+            if not args or args[0].isdigit():
+                count = int(args[0]) if args else 10
+                tail = log.tail(count)
+                if not tail:
+                    self.write("no events recorded yet")
+                for event in tail:
+                    self.write(event.to_line())
+            elif args[0] == "clear":
+                log.clear()
+                self.write("events cleared")
+            elif len(args) == 2 and args[0] == "save":
+                try:
+                    with open(args[1], "w") as handle:
+                        handle.write(log.to_jsonl())
+                except OSError as exc:
+                    self.write(f"error: cannot write events: {exc}")
+                else:
+                    self.write(f"events saved to {args[1]}")
+            else:
+                self.write("usage: .events [n]|save <path>|clear")
         elif name == ".budget":
             from repro.engine.resources import format_bytes
 
@@ -406,7 +440,17 @@ class Shell:
         self.db.set_backend(previous.backend)
         self.db.set_execution(previous.execution)
         self.db.set_optimizer(previous.optimizer)
-        previous.close()  # release the old database's worker pool
+        # Observability carries over too: the event sink continues the
+        # same file (append), and the monitor re-binds its port to the
+        # new database.
+        sink_path = previous.telemetry.events.sink_path
+        monitor = previous.monitor
+        monitor_port = monitor.port if monitor is not None else None
+        previous.close()  # release the old pool, monitor, and sink
+        if sink_path is not None:
+            self.db.telemetry.events.attach_sink(sink_path, append=True)
+        if monitor_port is not None:
+            self.db.serve_monitor(monitor_port)
         queries = {
             "spatial": workloads.SPATIAL_SQL,
             "interval": workloads.INTERVAL_SQL,
@@ -435,6 +479,22 @@ def main(argv=None) -> int:
     backend = None
     execution = None
     optimizer = None
+    events_out = None
+    monitor_port = None
+    if "--events-out" in argv:
+        at = argv.index("--events-out")
+        if at + 1 >= len(argv):
+            print("--events-out needs a path", file=sys.stderr)
+            return 1
+        events_out = argv[at + 1]
+        del argv[at:at + 2]
+    if "--monitor-port" in argv:
+        at = argv.index("--monitor-port")
+        if at + 1 >= len(argv) or not argv[at + 1].isdigit():
+            print("--monitor-port needs a port number", file=sys.stderr)
+            return 1
+        monitor_port = int(argv[at + 1])
+        del argv[at:at + 2]
     if "--optimizer" in argv:
         at = argv.index("--optimizer")
         if at + 1 >= len(argv) or argv[at + 1] not in ("rule", "cost"):
@@ -491,11 +551,26 @@ def main(argv=None) -> int:
                                   memory_budget=memory_budget,
                                   backend=backend,
                                   execution=execution,
-                                  optimizer=optimizer))
+                                  optimizer=optimizer,
+                                  event_log=events_out))
     except ReproError as exc:
         print(f"bad --memory-budget value: {exc}", file=sys.stderr)
         return 1
+    except OSError as exc:
+        print(f"cannot open --events-out path: {exc}", file=sys.stderr)
+        return 1
     shell.trace = trace
+    if monitor_port is not None:
+        try:
+            monitor = shell.db.serve_monitor(monitor_port)
+        except OSError as exc:
+            print(f"cannot start monitor on port {monitor_port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"monitor serving on {monitor.url} "
+              "(/healthz /metrics /queries /events /traces/<id>)")
+    if events_out is not None:
+        print(f"event log streaming to {events_out}")
     if shell.db.backend == "process":
         print("process backend active: COMBINE tasks run on a supervised "
               "worker-process pool")

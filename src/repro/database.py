@@ -150,6 +150,14 @@ class Database:
       Defaults to the ``FUDJ_OPT`` environment variable when unset.
       Single-join queries produce byte-identical rows under either
       setting; see ``docs/query_optimizer.md``.
+
+    Observability:
+
+    * ``event_log`` — path of a JSONL file every deterministic engine
+      event is teed to as it is emitted (canonical form, byte-identical
+      across identical seeded runs).  The same stream is queryable as
+      ``sys.events`` and served live by the monitor
+      (:meth:`serve_monitor`); see ``docs/observability.md``.
     """
 
     def __init__(self, num_partitions: int = 8, cores: int = 12,
@@ -167,7 +175,8 @@ class Database:
                  workers: int = None,
                  execution: str = None,
                  batch_rows: int = None,
-                 optimizer: str = None) -> None:
+                 optimizer: str = None,
+                 event_log: str = None) -> None:
         self._base_cost_model = cost_model or CostModel()
         self.memory_budget = _check_budget(memory_budget)
         self.max_concurrent = max_concurrent
@@ -212,6 +221,13 @@ class Database:
             else os.environ.get("FUDJ_OPT") or "rule"
         )
         self._pending_plan_rows = None
+        #: Id of the statement currently executing (0 outside execute()),
+        #: stamped on every event the engine emits on its behalf.
+        self._active_query_id = 0
+        self._monitor = None
+        if event_log is not None:
+            self.telemetry.events.attach_sink(event_log)
+        self.telemetry.set_build_info(self.cluster.backend, self._execution)
         register_sys_tables(self)
 
     # -- SQL entry points -----------------------------------------------------------
@@ -261,9 +277,19 @@ class Database:
         started = time.perf_counter()
         kind = "invalid"
         self._pending_plan_rows = None
+        # The entry id record_statement will assign — stamped on every
+        # event this statement emits, so the timeline joins to
+        # sys.queries before the query has even finished.
+        self._active_query_id = self.telemetry.history.total_recorded + 1
         try:
             statement = parse_statement(sql)
             kind = _statement_kind(statement)
+            # The detail deliberately excludes backend/execution (the
+            # build-info gauge carries those): serial and process runs of
+            # one script emit byte-identical deterministic streams.
+            self.telemetry.events.emit(
+                "query.start", query_id=self._active_query_id,
+                statement=kind, mode=mode_text, sql=sql.strip())
             result = self._execute_statement(
                 statement, mode, dedup, measure_bytes, summarize_sample,
                 faults, policy, timeout, tracing, optimizer)
@@ -273,6 +299,7 @@ class Database:
                 cores=self.cluster.cores,
                 wall_seconds=time.perf_counter() - started,
                 plan_rows=self._pending_plan_rows)
+            self._active_query_id = 0
             raise
         self.telemetry.record_statement(
             sql, kind, mode_text, "ok", metrics=result.metrics,
@@ -280,6 +307,7 @@ class Database:
             cores=result.cores or self.cluster.cores,
             wall_seconds=time.perf_counter() - started,
             plan_rows=self._pending_plan_rows)
+        self._active_query_id = 0
         return result
 
     def _execute_statement(self, statement, mode, dedup, measure_bytes,
@@ -348,6 +376,7 @@ class Database:
         self.cluster.backend = _check_backend(backend)
         if self.cluster.backend == "serial":
             self._shutdown_pool()
+        self.telemetry.set_build_info(self.cluster.backend, self._execution)
 
     # -- execution granularity --------------------------------------------------------
 
@@ -361,6 +390,7 @@ class Database:
         next query.  Both modes return byte-identical rows and
         deterministic metrics."""
         self._execution = _check_execution(execution)
+        self.telemetry.set_build_info(self.cluster.backend, self._execution)
 
     def _acquire_pool(self):
         """The live worker pool, spawning or respawning it as needed.
@@ -397,10 +427,42 @@ class Database:
             self.worker_pool = None
 
     def close(self) -> None:
-        """Release OS resources (the worker pool).  Idempotent; the
-        database remains usable afterwards on the serial path (a later
-        process-backend query just respawns the pool)."""
+        """Release OS resources (the worker pool, the monitor server,
+        the event-log sink).  Idempotent; the database remains usable
+        afterwards on the serial path (a later process-backend query
+        just respawns the pool)."""
         self._shutdown_pool()
+        self.stop_monitor()
+        self.telemetry.events.close_sink()
+
+    # -- live monitor ---------------------------------------------------------------
+
+    def serve_monitor(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start the read-only HTTP monitor on ``host:port`` (port 0
+        picks a free one) and return the
+        :class:`~repro.monitor.MonitorServer`.  The monitor serves
+        ``/healthz``, ``/metrics`` (Prometheus text, scrape-parity with
+        :meth:`metrics_snapshot`), ``/queries``, ``/events``, and
+        ``/traces/<query_id>`` from this live session on a daemon
+        thread; it never mutates the database.  A previous monitor, if
+        any, is stopped first."""
+        from repro.monitor import MonitorServer
+
+        self.stop_monitor()
+        self._monitor = MonitorServer(self, host=host, port=port)
+        self._monitor.start()
+        return self._monitor
+
+    @property
+    def monitor(self):
+        """The running :class:`~repro.monitor.MonitorServer`, or None."""
+        return self._monitor
+
+    def stop_monitor(self) -> None:
+        """Shut the monitor server down (idempotent)."""
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
 
     def _estimate_plan_bytes(self, plan) -> float:
         """Memory-reservation estimate of a physical plan: the wire bytes
@@ -438,6 +500,9 @@ class Database:
                 self.telemetry.note_admission(exc.reason)
                 raise
             self.telemetry.note_admission("admitted")
+            self.telemetry.events.emit(
+                "admission.admit", query_id=self._active_query_id,
+                reserved_bytes=ticket.reserved_bytes)
             resources.queue_seconds = ticket.queue_seconds
         pool = self._acquire_pool if self.cluster.backend == "process" else None
         try:
@@ -447,11 +512,13 @@ class Database:
                                 timeout_seconds=timeout, trace=tracing,
                                 resources=resources, breaker=self.breaker,
                                 pool=pool, execution=self._execution,
-                                batch_rows=self.batch_rows)
+                                batch_rows=self.batch_rows,
+                                events=self.telemetry.events.scoped(
+                                    self._active_query_id))
         finally:
             if ticket is not None:
                 self.admission.release(ticket)
-            self.telemetry.sync_breaker(self.breaker)
+            self.telemetry.sync_breaker(self.breaker, self._active_query_id)
             self.telemetry.sync_pool(self.worker_pool)
 
     def _governance_lines(self, metrics) -> list:
@@ -509,6 +576,7 @@ class Database:
 
     def explain(self, sql: str, mode="fudj", optimizer: str = None) -> str:
         """The optimized physical plan of a SELECT, as indented text."""
+        self._active_query_id = 0  # not a recorded statement
         statement = parse_statement(sql)
         if not isinstance(statement, SelectStatement):
             raise PlanError("EXPLAIN supports SELECT statements only")
@@ -543,6 +611,9 @@ class Database:
         selection (see ``docs/query_optimizer.md``)."""
         estimator = CardinalityEstimator(self.cluster)
         order = enumerate_join_order(bound, estimator)
+        events = self.telemetry.events
+        events.emit("plan.order", query_id=self._active_query_id,
+                    order=" -> ".join(order.aliases))
         logical = optimize(bound, self.joins, mode, output_order,
                            table_order=order.aliases)
         annotate_estimates(logical, estimator, bound.aliases)
@@ -558,7 +629,17 @@ class Database:
                 estimator=estimator,
                 breaker=self.breaker,
             )
-            default_selection().select_physical_operators(logical, context)
+            assignment = default_selection().select_physical_operators(
+                logical, context)
+            from repro.optimizer.physical import _walk
+
+            for node in _walk(logical):
+                strategy = assignment.strategy_of(node)
+                if strategy is not None:
+                    events.emit("plan.operator",
+                                query_id=self._active_query_id,
+                                join=node.describe(), strategy=strategy,
+                                note=assignment.note_of(node))
         return logical
 
     def _execute_explain(self, statement: ExplainStatement,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 
 from repro.engine.cluster import Cluster
+from repro.engine.events import NULL_EVENTS
 from repro.engine.faults import FaultPlan, stage_key
 from repro.engine.metrics import QueryMetrics
 from repro.engine.tracing import Tracer
@@ -69,7 +70,8 @@ class ExecutionContext:
                  breaker=None,
                  pool=None,
                  execution: str = "row",
-                 batch_rows: int = None) -> None:
+                 batch_rows: int = None,
+                 events=None) -> None:
         from repro.engine.batch import DEFAULT_BATCH_ROWS, EXECUTION_MODES
 
         if on_error not in ERROR_POLICIES:
@@ -96,6 +98,7 @@ class ExecutionContext:
 
             resources = QueryResources(cluster.cost_model)
         self.resources = resources
+        self.events = NULL_EVENTS if events is None else events
         self.breaker = breaker
         self._breaker_ok = set()
         self._pool_source = pool
@@ -228,6 +231,8 @@ class ExecutionContext:
             stage.charge(worker, penalty)
             metrics.tasks_retried += 1
             metrics.recovery_seconds += model.cpu_seconds(units + penalty)
+            self.events.emit("fault.retry", stage=stage.name, worker=worker,
+                             attempt=attempt, backoff_seconds=backoff)
         if plan.straggles(key, worker) and units > 0.0:
             # Left alone the task runs ``slowdown`` times slower; the
             # speculative copy kicks in at detection and replays from the
@@ -239,6 +244,8 @@ class ExecutionContext:
             stage.charge(worker, extra)
             metrics.stragglers_detected += 1
             metrics.recovery_seconds += model.cpu_seconds(extra)
+            self.events.emit("fault.straggler", stage=stage.name,
+                             worker=worker, extra_units=round(extra, 6))
         return result
 
     def guard_record(self, join_name: str, phase: str, fn, *args,

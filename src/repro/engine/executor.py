@@ -69,7 +69,8 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  breaker=None,
                  pool=None,
                  execution: str = "row",
-                 batch_rows: int = None) -> QueryResult:
+                 batch_rows: int = None,
+                 events=None) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -98,12 +99,15 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
             deterministic metrics are byte-identical either way.
         batch_rows: rows per batch under batched execution (None keeps
             :data:`~repro.engine.batch.DEFAULT_BATCH_ROWS`).
+        events: a bound event emitter
+            (:meth:`~repro.engine.events.EventLog.scoped`); None keeps
+            the inert null emitter.
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
         on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
         resources=resources, breaker=breaker, pool=pool,
-        execution=execution, batch_rows=batch_rows,
+        execution=execution, batch_rows=batch_rows, events=events,
     )
     started = time.perf_counter()
     try:

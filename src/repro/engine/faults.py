@@ -232,6 +232,8 @@ def apply_exchange_faults(ctx, stage, worker: int, moved_bytes: float) -> None:
         + model.network_seconds(resent)
         + model.cpu_seconds(resent * model.serde_byte)
     )
+    ctx.events.emit("fault.exchange_retry", stage=stage.name, worker=worker,
+                    failures=failures, resent_bytes=round(resent, 6))
 
 
 def charge_checkpoint(ctx, stage, worker: int, num_bytes: float) -> None:

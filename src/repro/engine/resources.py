@@ -353,9 +353,15 @@ class QueryResources:
                 for payload in frames:
                     fh.write(_U32.pack(len(payload)))
                     fh.write(payload)
+            file_bytes = os.path.getsize(path)
             self.spill_files += 1
-            self.spill_bytes += os.path.getsize(path)
+            self.spill_bytes += file_bytes
             self.spilled_items += len(frames)
+            events = getattr(ctx, "events", None)
+            if events is not None:
+                events.emit("resource.spill", stage=stage.name,
+                            worker=worker, spilled_items=len(frames),
+                            spill_bytes=file_bytes)
             with open(path, "rb") as fh:
                 data = fh.read()
             offset = 0

@@ -35,7 +35,9 @@ query and pays the ordinary scan cost like any other dataset.
 from __future__ import annotations
 
 import json
+import time
 
+from repro.engine.events import DEFAULT_EVENT_LIMIT, EventLog
 from repro.engine.record import Schema
 from repro.errors import ReproError
 
@@ -437,6 +439,12 @@ SYS_PLANS_FIELDS = (
     ("est_rows", "double"), ("actual_rows", "int"),
 )
 
+SYS_EVENTS_FIELDS = (
+    ("seq", "int"), ("query_id", "int"), ("kind", "string"),
+    ("level", "string"), ("phase", "string"), ("stage", "string"),
+    ("worker", "int"), ("runtime", "boolean"), ("detail", "string"),
+)
+
 #: Every registered ``sys.*`` table: name → field schema.  The docs
 #: linter checks each name here is documented in ``docs/``.
 SYS_TABLES = {
@@ -447,6 +455,7 @@ SYS_TABLES = {
     "sys.resources": SYS_RESOURCES_FIELDS,
     "sys.workers": SYS_WORKERS_FIELDS,
     "sys.plans": SYS_PLANS_FIELDS,
+    "sys.events": SYS_EVENTS_FIELDS,
 }
 
 
@@ -458,9 +467,14 @@ class Telemetry:
     statement — success or failure — after execution finishes.
     """
 
-    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT,
+                 event_limit: int = DEFAULT_EVENT_LIMIT) -> None:
         self.registry = MetricsRegistry()
         self.history = QueryHistory(history_limit)
+        #: Structured event log (:mod:`repro.engine.events`), exposed as
+        #: ``sys.events`` and the monitor's ``/events`` endpoint.
+        self.events = EventLog(event_limit)
+        self._started_monotonic = time.monotonic()
         r = self.registry
         self._statements = r.counter(
             "fudj_statements_total",
@@ -560,6 +574,44 @@ class Telemetry:
             "fudj_history_entries", "Query history records retained.")
         self._history_evicted = r.gauge(
             "fudj_history_evicted", "Query history records evicted.")
+        self._events_emitted = r.gauge(
+            "fudj_events_total", "Structured engine events emitted.")
+        #: Scrape self-description.  ``fudj_build_info`` is the
+        #: conventional constant-1 info gauge (version/backend/execution
+        #: labels, stamped by :meth:`set_build_info`).
+        #: ``fudj_uptime_seconds`` is the one sanctioned wall-clock in
+        #: the registry: it has *no sample* until :meth:`touch_uptime`
+        #: stamps it at monitor scrape time, so un-scraped sessions keep
+        #: the byte-identical determinism contract untouched.
+        self._build_info = r.gauge(
+            "fudj_build_info",
+            "Constant 1; version/backend/execution identify the build.",
+            ("version", "backend", "execution"))
+        self._uptime = r.gauge(
+            "fudj_uptime_seconds",
+            "Seconds since this session started (stamped at scrape "
+            "time).")
+
+    # -- scrape self-description ----------------------------------------------
+
+    def set_build_info(self, backend: str, execution: str) -> None:
+        """Stamp the ``fudj_build_info`` gauge (value 1 by convention).
+        Re-stamping replaces the previous label set, so a backend or
+        execution switch never leaves a stale series behind."""
+        from repro import __version__
+
+        self._build_info._values.clear()
+        self._build_info.set(1, version=__version__, backend=backend,
+                             execution=execution)
+
+    def touch_uptime(self) -> float:
+        """Stamp ``fudj_uptime_seconds`` with the session age and return
+        it.  Called by the monitor before rendering ``/metrics``; the
+        stamped value persists, so a ``metrics_snapshot()`` taken right
+        after a scrape renders byte-identically to the scrape."""
+        uptime = round(time.monotonic() - self._started_monotonic, 3)
+        self._uptime.set(uptime)
+        return uptime
 
     # -- recording ------------------------------------------------------------
 
@@ -623,7 +675,48 @@ class Telemetry:
                                      callback=cb["callback"])
         self._history_entries.set(len(self.history))
         self._history_evicted.set(self.history.evicted)
+        self._emit_statement_events(entry, metrics, error)
+        self._events_emitted.set(self.events.total_emitted)
         return entry
+
+    def _emit_statement_events(self, entry: dict, metrics, error) -> None:
+        """Completion-time events for one statement: the per-stage
+        timeline, degraded-mode and estimate summaries, then the
+        terminal ``query.finish`` / ``query.error``.  Everything here is
+        derived from deterministic entry fields (never ``wall_seconds``
+        or ``queue_seconds``), so the stream stays byte-stable."""
+        ev = self.events
+        qid = entry["id"]
+        if metrics is not None:
+            for stage_row in entry["stages"]:
+                ev.emit("stage.finish", query_id=qid,
+                        stage=stage_row["stage"], phase=stage_row["phase"],
+                        cpu_units=stage_row["cpu_units"],
+                        records_in=stage_row["records_in"],
+                        records_out=stage_row["records_out"],
+                        workers=stage_row["workers"])
+            if entry["quarantined"]:
+                ev.emit("fault.quarantine", query_id=qid,
+                        records=entry["quarantined"])
+        for plan_row in entry["plans"]:
+            if plan_row["est_rows"] >= 0 and plan_row["actual_rows"] >= 0:
+                ev.emit("plan.actuals", query_id=qid,
+                        stage=plan_row["stage"],
+                        est_rows=plan_row["est_rows"],
+                        actual_rows=plan_row["actual_rows"])
+        if error is None:
+            ev.emit("query.finish", query_id=qid, status=entry["status"],
+                    rows=entry["rows"], cpu_units=entry["cpu_units"],
+                    sim_seconds=entry["sim_seconds"])
+            return
+        if entry["status"] == "shed":
+            ev.emit("admission.shed", query_id=qid,
+                    reason=getattr(error, "reason", ""))
+        elif entry["status"] == "rejected":
+            ev.emit("breaker.reject", query_id=qid,
+                    error_type=entry["error_type"])
+        ev.emit("query.error", query_id=qid, status=entry["status"],
+                error_type=entry["error_type"])
 
     def _build_entry(self, sql, kind, mode, status, metrics, rows, error,
                      trace, cores, wall_seconds, plan_rows=None) -> dict:
@@ -747,14 +840,17 @@ class Telemetry:
         ``timeout``)."""
         self._admission.inc(outcome=outcome)
 
-    def sync_breaker(self, breaker) -> None:
+    def sync_breaker(self, breaker, query_id: int = 0) -> None:
         """Fold a circuit breaker's lifetime trip/rejection counts into
-        the registry (idempotent — only deltas are added)."""
+        the registry (idempotent — only deltas are added).  A fresh trip
+        also lands in the event log, attributed to ``query_id``."""
         if breaker is None:
             return
         trips = breaker.trips - self._breaker_seen["trips"]
         if trips > 0:
             self._breaker_trips.inc(trips)
+            self.events.emit("breaker.trip", query_id=query_id,
+                             trips=trips)
         rejections = breaker.rejections - self._breaker_seen["rejections"]
         if rejections > 0:
             self._breaker_rejections.inc(rejections)
@@ -792,9 +888,11 @@ class Telemetry:
         )
 
     def reset(self) -> None:
-        """Zero the registry and drop the history."""
+        """Zero the registry, drop the history, and clear the event
+        log (an attached event sink stays attached)."""
         self.registry.reset()
         self.history.clear()
+        self.events.clear()
 
     # -- sys.* row providers --------------------------------------------------
 
@@ -822,6 +920,10 @@ class Telemetry:
         for entry in self.history.entries():
             rows.extend(entry.get("plans", []))
         return rows
+
+    def events_rows(self) -> list:
+        """Retained engine events — the ``sys.events`` provider."""
+        return self.events.rows()
 
     def metrics_rows(self) -> list:
         """The registry flattened to one row per sample (histograms
@@ -924,6 +1026,7 @@ def register_sys_tables(db) -> None:
         "sys.resources": lambda: resources_rows(db),
         "sys.workers": lambda: workers_rows(db),
         "sys.plans": telemetry.plans_rows,
+        "sys.events": telemetry.events_rows,
     }
     for name, fields in SYS_TABLES.items():
         db.catalog.register_virtual_table(name, fields)

@@ -250,6 +250,23 @@ class _WorkerResources(QueryResources):
         }
 
 
+class _SiteEvents:
+    """Just enough event-log surface for :meth:`QueryResources.admit`:
+    records ``(kind, detail)`` tuples for the export.  Stage and worker
+    are dropped — the coordinator's replay re-emits each event with the
+    *real* stage name and worker index (the site only knows "worker"),
+    so the replayed stream matches the serial backend's byte for byte."""
+
+    __slots__ = ("logged",)
+
+    def __init__(self) -> None:
+        self.logged = []
+
+    def emit(self, kind: str, stage: str = "", worker: int = -1,
+             phase: str = None, level: str = None, **detail) -> None:
+        self.logged.append((kind, detail))
+
+
 class _TracerShim:
     """Just enough tracer surface for :meth:`QueryResources.admit`."""
 
@@ -315,6 +332,7 @@ class _WorkerSite:
         self.breaker_ok = False
         self.resources = _WorkerResources(self.model, self.enforce, spill_dir)
         self.tracer = _TracerShim(self, self.traced)
+        self.events = _SiteEvents()
         self._stage = _StageShim(self, "worker")
 
     # -- event log -----------------------------------------------------------
@@ -427,6 +445,7 @@ class _WorkerSite:
             "breaker_failures": self.breaker_failures,
             "breaker_ok": self.breaker_ok,
             "resources": self.resources.export(),
+            "events": self.events.logged,
         }
 
 
@@ -1220,6 +1239,12 @@ def _replay_attempt(ctx, stage, worker: int, export: dict,
     # not rolled back), so the replay adds them per attempt too.
     ctx.translator.unbox_count += export["key_conversions"]
     ctx.resources.absorb(stage.name, worker, export["resources"])
+    # Worker-side deterministic events (spills) ride the ledger: re-emit
+    # them here with the real stage name and worker index, once per
+    # replayed attempt — exactly when the serial backend's re-run of the
+    # task function would emit them.
+    for kind, detail in export.get("events", ()):
+        ctx.events.emit(kind, stage=stage.name, worker=worker, **detail)
     return stage.worker_units.get(worker, 0.0) - units_before
 
 
@@ -1267,6 +1292,8 @@ def _apply_task(ctx, stage, worker: int, export: dict, join_name: str,
             stage.charge(worker, penalty)
             metrics.tasks_retried += 1
             metrics.recovery_seconds += model.cpu_seconds(units + penalty)
+            ctx.events.emit("fault.retry", stage=stage.name, worker=worker,
+                            attempt=attempt, backoff_seconds=backoff)
         if plan.straggles(key, worker) and units > 0.0:
             crawl = units * (plan.straggler_slowdown - 1.0)
             speculate = (units * plan.straggler_detect_factor
@@ -1275,6 +1302,8 @@ def _apply_task(ctx, stage, worker: int, export: dict, join_name: str,
             stage.charge(worker, extra)
             metrics.stragglers_detected += 1
             metrics.recovery_seconds += model.cpu_seconds(extra)
+            ctx.events.emit("fault.straggler", stage=stage.name,
+                            worker=worker, extra_units=round(extra, 6))
     _apply_counters(ctx, export, join_name)
 
 
@@ -1395,12 +1424,16 @@ def run_combine(pool: WorkerPool, op, ctx, stage, kind: str,
 
     extra = sum(t["kills"] for t in tasks)
     detect = plan.straggler_detect_factor if plan_active else 2.0
+    for worker in range(num):
+        ctx.events.emit("worker.lease", stage=stage.name, worker=worker)
     try:
         outcomes = pool.run_tasks(
             tasks, check_cancel=ctx.check_timeout,
             extra_restarts=extra, detect_factor=detect,
         )
     except WorkerPoolError:
+        ctx.events.emit("worker.degrade", stage=stage.name,
+                        reason="pool_exhausted")
         return None  # pool exhausted — degrade to serial
 
     # Decode everything first: nothing is applied to shared state until
@@ -1432,6 +1465,17 @@ def run_combine(pool: WorkerPool, op, ctx, stage, kind: str,
 
     for worker, item in enumerate(decoded):
         outcome = outcomes[worker]
+        if outcome["deaths"]:
+            ctx.events.emit("worker.crash", stage=stage.name, worker=worker,
+                            deaths=outcome["deaths"])
+            ctx.events.emit("worker.redispatch", stage=stage.name,
+                            worker=worker, attempts=outcome["attempts"])
+        if outcome["hb_misses"]:
+            ctx.events.emit("worker.heartbeat_miss", stage=stage.name,
+                            worker=worker, misses=outcome["hb_misses"])
+        if outcome["speculated"]:
+            ctx.events.emit("worker.speculate", stage=stage.name,
+                            worker=worker)
         if ctx.tracer.enabled:
             ctx.tracer.worker_span(worker, {
                 "pid": outcome["pid"],

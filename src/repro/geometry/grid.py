@@ -44,17 +44,28 @@ class UniformGrid:
     def _clamp(self, index: int) -> int:
         return max(0, min(self.n - 1, index))
 
+    def _index_of(self, offset: float, tile_size: float) -> int:
+        # A subnormal extent makes tile_size tiny enough that the
+        # division overflows to inf (or nan for pathological inputs);
+        # clamping must happen before int() can choke on it.
+        quotient = offset / tile_size
+        if quotient != quotient:  # nan
+            return 0
+        if quotient in (float("inf"), float("-inf")):
+            return 0 if quotient < 0 else self.n - 1
+        return self._clamp(int(quotient))
+
     def column_of(self, x: float) -> int:
         """Grid column containing ``x`` (clamped to the extent)."""
         if self.tile_width == 0.0:
             return 0
-        return self._clamp(int((x - self.extent.x1) / self.tile_width))
+        return self._index_of(x - self.extent.x1, self.tile_width)
 
     def row_of(self, y: float) -> int:
         """Grid row containing ``y`` (clamped to the extent)."""
         if self.tile_height == 0.0:
             return 0
-        return self._clamp(int((y - self.extent.y1) / self.tile_height))
+        return self._index_of(y - self.extent.y1, self.tile_height)
 
     def tile_id(self, col: int, row: int) -> int:
         """Row-major id of tile ``(col, row)``."""

@@ -1,0 +1,219 @@
+"""Read-only live monitor: the engine's observability over HTTP.
+
+A zero-dependency ``http.server`` front door onto a running
+:class:`~repro.database.Database` — what an operator (or a Prometheus
+scraper) points at while a session is executing queries:
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", ...}``.
+* ``GET /metrics`` — the telemetry registry in Prometheus text
+  exposition format.  Scrape parity is a contract: the body equals
+  ``Database.metrics_snapshot("prometheus")`` for the same instant
+  (the scrape stamps ``fudj_uptime_seconds`` first, and the stamped
+  value persists, so a snapshot taken right after the scrape renders
+  the same bytes).
+* ``GET /queries`` — the retained query history (``sys.queries`` rows)
+  as a JSON array.
+* ``GET /events`` — the retained event log as NDJSON, one canonical
+  JSON object per line (``?tail=N`` keeps the newest N).
+* ``GET /traces/<query_id>`` — one query's per-stage timeline as Chrome
+  trace-event JSON (load it in ``chrome://tracing`` / Perfetto).
+  Synthesized deterministically from the recorded stage rows: one
+  complete event per stage, 1 charged unit = 1 µs.
+
+The monitor runs on a daemon thread, serves GETs only, and never
+mutates the database — it is safe to leave attached for the whole
+session.  Start it with :meth:`Database.serve_monitor
+<repro.database.Database.serve_monitor>` or the CLI's
+``--monitor-port``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse, parse_qs
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def chrome_trace(entry: dict) -> dict:
+    """One recorded query as a Chrome trace-event document.
+
+    Stages become complete ("ph": "X") events laid end to end on one
+    timeline row, with 1 charged cost-model unit rendered as 1 µs —
+    deterministic, and proportional to the simulated makespan.
+    """
+    events = []
+    cursor = 0.0
+    for row in entry.get("stages", ()):
+        duration = max(float(row["cpu_units"]), 1.0)
+        events.append({
+            "name": row["stage"],
+            "cat": row["phase"] or "other",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": round(cursor, 3),
+            "dur": round(duration, 3),
+            "args": {
+                "records_in": row["records_in"],
+                "records_out": row["records_out"],
+                "workers": row["workers"],
+                "cpu_units": row["cpu_units"],
+            },
+        })
+        cursor += duration
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "query_id": entry["id"],
+            "sql": entry["sql"],
+            "status": entry["status"],
+        },
+        "traceEvents": events,
+    }
+
+
+class _MonitorHandler(BaseHTTPRequestHandler):
+    """One GET-only request handler bound (via the server) to a database."""
+
+    server_version = "fudj-monitor"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        return  # keep the shell quiet; the monitor is a side channel
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def db(self):
+        return self.server.database
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, obj, status: int = 200) -> None:
+        self._send(status, json.dumps(obj, sort_keys=True), "application/json")
+
+    def _not_found(self, path: str) -> None:
+        self._send_json({"error": f"no such endpoint: {path}"}, status=404)
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._healthz()
+            elif path == "/metrics":
+                self._metrics()
+            elif path == "/queries":
+                self._send_json(self.db.telemetry.queries_rows())
+            elif path == "/events":
+                self._events(parse_qs(parsed.query))
+            elif path.startswith("/traces/"):
+                self._trace(path[len("/traces/"):])
+            else:
+                self._not_found(path)
+        except BrokenPipeError:
+            pass  # client went away mid-response
+
+    def _healthz(self) -> None:
+        telemetry = self.db.telemetry
+        self._send_json({
+            "status": "ok",
+            "backend": self.db.backend,
+            "execution": self.db.execution,
+            "queries_recorded": telemetry.history.total_recorded,
+            "events_emitted": telemetry.events.total_emitted,
+            "uptime_seconds": telemetry.touch_uptime(),
+        })
+
+    def _metrics(self) -> None:
+        # Stamp the uptime gauge *before* rendering: the scrape carries
+        # it, and because the stamped value persists in the registry, a
+        # metrics_snapshot() taken at the same instant renders the same
+        # bytes (the scrape-parity contract the tests pin down).
+        self.db.telemetry.touch_uptime()
+        self._send(200, self.db.metrics_snapshot("prometheus"),
+                   METRICS_CONTENT_TYPE)
+
+    def _events(self, query) -> None:
+        log = self.db.telemetry.events
+        try:
+            tail = int(query.get("tail", [0])[0])
+        except (TypeError, ValueError):
+            tail = 0
+        events = log.tail(tail) if tail > 0 else log.events()
+        body = "".join(event.to_line() + "\n" for event in events)
+        self._send(200, body, "application/x-ndjson")
+
+    def _trace(self, raw_id: str) -> None:
+        try:
+            query_id = int(raw_id)
+        except ValueError:
+            self._not_found(f"/traces/{raw_id}")
+            return
+        for entry in self.db.telemetry.history.entries():
+            if entry["id"] == query_id:
+                self._send_json(chrome_trace(entry))
+                return
+        self._send_json(
+            {"error": f"query {query_id} is not in the retained history"},
+            status=404,
+        )
+
+
+class MonitorServer:
+    """The read-only monitor: a threaded HTTP server on a daemon thread.
+
+    ``port=0`` binds any free port; read the real one from :attr:`port`
+    after :meth:`start`.  :meth:`stop` shuts the listener down and joins
+    the thread — also wired into :meth:`Database.close
+    <repro.database.Database.close>`.
+    """
+
+    def __init__(self, database, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.database = database
+        self._server = ThreadingHTTPServer((host, port), _MonitorHandler)
+        self._server.daemon_threads = True
+        self._server.database = database
+        self._thread = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="fudj-monitor", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()

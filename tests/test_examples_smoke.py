@@ -16,7 +16,8 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 FAST = ["quickstart.py", "custom_join.py", "weather_analysis.py",
-        "fleet_proximity.py", "trace_tour.py", "telemetry_tour.py"]
+        "fleet_proximity.py", "trace_tour.py", "telemetry_tour.py",
+        "monitor_tour.py"]
 SLOW = ["wildfire_parks.py", "similar_reviews.py", "taxi_overlaps.py",
         "extension_tour.py"]
 

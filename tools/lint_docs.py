@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs linter: keep the documented surface honest.
 
-Six checks over ``README.md`` and ``docs/*.md``:
+Nine checks over ``README.md`` and ``docs/*.md``:
 
 1. **Links resolve.** Every relative markdown link (and image) points at
    a file or directory that exists; fragment-only links and absolute
@@ -28,6 +28,10 @@ Six checks over ``README.md`` and ``docs/*.md``:
 8. **Environment overrides are documented.** Every ``FUDJ_*``
    environment variable the source reads via ``os.environ`` is
    mentioned somewhere in the docs.
+9. **Event kinds are documented.** Every event ``kind`` the engine can
+   emit (``repro.engine.events.EVENT_KINDS`` — ``emit()`` rejects
+   anything outside the registry, so the registry *is* the emitted
+   surface) appears in ``docs/observability.md``.
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -153,6 +157,25 @@ def env_vars() -> set:
     return names
 
 
+def event_kinds() -> set:
+    from repro.engine.events import EVENT_KINDS
+
+    return set(EVENT_KINDS)
+
+
+def check_event_kinds() -> list:
+    """Every emittable event kind must appear in the observability doc
+    specifically — that page is the event-log reference."""
+    doc = REPO / "docs" / "observability.md"
+    corpus = doc.read_text() if doc.exists() else ""
+    problems = []
+    for kind in sorted(event_kinds()):
+        if kind not in corpus:
+            problems.append(f"event kind {kind!r} is not documented in "
+                            "docs/observability.md")
+    return problems
+
+
 def check_mentions(files: list, needles: set, what: str) -> list:
     corpus = "\n".join(path.read_text() for path in files)
     problems = []
@@ -180,6 +203,7 @@ def main() -> int:
     problems += check_execution_modes(files)
     problems += check_optimizer_modes(files)
     problems += check_mentions(files, env_vars(), "environment variable")
+    problems += check_event_kinds()
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
@@ -192,7 +216,8 @@ def main() -> int:
           f"{len(cli_flags())} CLI flags, "
           f"{len(execution_modes())} execution modes, "
           f"{len(optimizer_modes())} optimizer modes, "
-          f"{len(env_vars())} env vars checked)")
+          f"{len(env_vars())} env vars, "
+          f"{len(event_kinds())} event kinds checked)")
     return 0
 
 
