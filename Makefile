@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch test-optimizer test-events bench bench-check perf-gate lint-docs examples slow-examples shell clean
+.PHONY: install test test-faults test-telemetry test-resources test-workers test-batch test-optimizer test-events test-server bench bench-check perf-gate lint-docs examples slow-examples shell clean serve
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,13 @@ test-optimizer:   ## cost-based optimizer: estimates, ordering, parity, plan qua
 
 test-events:      ## structured event log + live monitor: determinism, parity, endpoints
 	$(PYTHON) -m pytest tests/test_events.py tests/test_monitor.py -q
+
+test-server:      ## concurrent session server: chaos harness, cancellation, drain
+	$(PYTHON) -m pytest tests/test_server.py -q
+	$(PYTHON) benchmarks/bench_serving.py --smoke --no-trajectory
+
+serve:            ## run the session server on an ephemeral port
+	$(PYTHON) -m repro serve --port 0
 
 test-batch:       ## vectorized batch execution: row-parity, kernels, perf gate
 	$(PYTHON) -m pytest tests/test_batch.py -q

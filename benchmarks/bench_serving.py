@@ -1,0 +1,179 @@
+"""Serving throughput: concurrent sessions against the session server.
+
+Measures the end-to-end request path the robustness PR added — TCP,
+JSONL framing, tenant lanes, admission, the engine, and the response —
+under genuinely concurrent client sessions:
+
+1. *Steady state* — N client threads each run M queries back to back;
+   the headline numbers are QPS and the p50/p95 request latency.  The
+   engine itself is serialized (one query holds it at a time), so this
+   measures serving overhead and fairness, not parallel speedup.
+2. *Chaos slice* — a fraction of requests carry a tiny deadline or get
+   cancelled mid-flight; they must all come back typed (``timeout`` /
+   ``cancelled``), and the steady-state queries around them still
+   return correct rows.
+
+The headline lands in the consolidated perf trajectory
+(``benchmarks/results/BENCH_trajectory.json``) under the ``serving``
+suite: ``rows`` is completed requests, so ``rows_per_second`` is the
+measured QPS; ``detail`` carries the latency percentiles.
+
+Standalone::
+
+    python benchmarks/bench_serving.py [--smoke] [--out serving.json]
+        [--clients N] [--requests M] [--no-trajectory]
+"""
+
+import json
+import sys
+import threading
+import time
+
+from repro.bench import SPATIAL_SQL, spatial_database
+from repro.bench.trajectory import record
+from repro.client import SessionClient
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def run_serving(clients=8, requests=10, points=120, polygons=1200,
+                chaos_every=5):
+    """One measured serving run; returns the result document."""
+    db = spatial_database(points, polygons, partitions=4, seed=7)
+    expected = len(db.execute(SPATIAL_SQL).rows)  # warm + ground truth
+    server = db.serve(port=0, max_sessions=clients + 2)
+    latencies = []
+    outcomes = {"result": 0, "timeout": 0, "cancelled": 0, "other": 0}
+    failures = []
+    lock = threading.Lock()
+
+    def worker(index):
+        try:
+            with SessionClient(server.host, server.port,
+                               tenant=f"bench-{index % 4}") as client:
+                for n in range(requests):
+                    chaotic = chaos_every and (index + n) % chaos_every == 2
+                    started = time.perf_counter()
+                    if chaotic and n % 2 == 0:
+                        reply = client.query(SPATIAL_SQL, timeout=300.0,
+                                             deadline_ms=1)
+                    elif chaotic:
+                        rid = client.query_async(SPATIAL_SQL)
+                        client.cancel(rid)
+                        reply = client.wait(rid, timeout=300.0)
+                    else:
+                        reply = client.query(SPATIAL_SQL, timeout=300.0)
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        if reply["type"] == "result":
+                            outcomes["result"] += 1
+                            latencies.append(elapsed)
+                            if reply["row_count"] != expected:
+                                failures.append(
+                                    f"client {index}: {reply['row_count']} "
+                                    f"rows, expected {expected}")
+                        elif reply.get("error") in ("timeout", "cancelled"):
+                            outcomes[reply["error"]] += 1
+                        else:
+                            outcomes["other"] += 1
+                            failures.append(
+                                f"client {index}: unexpected outcome "
+                                f"{reply.get('error')!r}")
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            with lock:
+                failures.append(f"client {index}: {type(exc).__name__}: "
+                                f"{exc}")
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    db.close()
+
+    completed = sum(outcomes.values())
+    latencies.sort()
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "completed": completed,
+        "outcomes": outcomes,
+        "failures": failures,
+        "wall_seconds": round(wall, 6),
+        "qps": round(completed / wall, 3) if wall else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "result_rows": expected,
+    }
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in args
+    if smoke:
+        args.remove("--smoke")
+    trajectory = "--no-trajectory" not in args
+    if not trajectory:
+        args.remove("--no-trajectory")
+    out = None
+    if "--out" in args:
+        at = args.index("--out")
+        if at + 1 >= len(args):
+            print("--out needs a path", file=sys.stderr)
+            return 1
+        out = args[at + 1]
+        del args[at:at + 2]
+    clients = 4 if smoke else 8
+    requests = 3 if smoke else 10
+    if "--clients" in args:
+        at = args.index("--clients")
+        clients = int(args[at + 1])
+        del args[at:at + 2]
+    if "--requests" in args:
+        at = args.index("--requests")
+        requests = int(args[at + 1])
+        del args[at:at + 2]
+
+    result = run_serving(clients=clients, requests=requests)
+    print(f"serving: {result['completed']} requests from "
+          f"{result['clients']} sessions in {result['wall_seconds']:.2f}s "
+          f"-> {result['qps']:.1f} qps "
+          f"(p50 {result['p50_ms']:.0f}ms, p95 {result['p95_ms']:.0f}ms)")
+    print(f"outcomes: {result['outcomes']}")
+    for failure in result["failures"]:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+
+    if trajectory:
+        record(
+            "serving",
+            wall_seconds=result["wall_seconds"],
+            rows=result["completed"],
+            detail={
+                "qps": result["qps"],
+                "p50_ms": result["p50_ms"],
+                "p95_ms": result["p95_ms"],
+                "clients": result["clients"],
+                "outcomes": result["outcomes"],
+                "smoke": smoke,
+            },
+        )
+    if out is not None:
+        with open(out, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"measurement written to {out}")
+    return 1 if result["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

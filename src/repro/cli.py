@@ -19,6 +19,17 @@ Usage::
                                            # monitor (/healthz /metrics
                                            # /queries /events
                                            # /traces/<id>) on this port
+    python -m repro serve --port 7878      # concurrent session server:
+                                           # JSONL queries over TCP with
+                                           # per-request deadlines,
+                                           # cooperative cancellation,
+                                           # per-tenant backpressure, and
+                                           # graceful drain on SIGTERM
+                                           # (--max-sessions N caps
+                                           # concurrent sessions,
+                                           # --drain-timeout S bounds the
+                                           # drain wait; --port 0 binds
+                                           # any free port and prints it)
     python -m repro --memory-budget 64kb   # per-worker memory budget:
                                            # over-budget operator state
                                            # spills to disk, admission
@@ -473,6 +484,42 @@ def _write_metrics(db: Database, path: str) -> None:
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    serve_mode = bool(argv) and argv[0] == "serve"
+    serve_port = 0
+    max_sessions = 8
+    drain_timeout = 5.0
+    if serve_mode:
+        argv = argv[1:]
+        if "--port" in argv:
+            at = argv.index("--port")
+            if at + 1 >= len(argv) or not argv[at + 1].isdigit():
+                print("--port needs a port number (0 binds any free "
+                      "port)", file=sys.stderr)
+                return 1
+            serve_port = int(argv[at + 1])
+            del argv[at:at + 2]
+        if "--max-sessions" in argv:
+            at = argv.index("--max-sessions")
+            if (at + 1 >= len(argv) or not argv[at + 1].isdigit()
+                    or int(argv[at + 1]) < 1):
+                print("--max-sessions needs a positive session count",
+                      file=sys.stderr)
+                return 1
+            max_sessions = int(argv[at + 1])
+            del argv[at:at + 2]
+        if "--drain-timeout" in argv:
+            at = argv.index("--drain-timeout")
+            try:
+                drain_timeout = float(argv[at + 1])
+            except (IndexError, ValueError):
+                print("--drain-timeout needs a number of seconds",
+                      file=sys.stderr)
+                return 1
+            if drain_timeout < 0:
+                print("--drain-timeout needs a number of seconds",
+                      file=sys.stderr)
+                return 1
+            del argv[at:at + 2]
     fault_plan = None
     metrics_out = None
     memory_budget = None
@@ -593,6 +640,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "--demo":
         shell._load_demo(argv[1] if len(argv) > 1 else "spatial")
         argv = argv[2:]
+    if serve_mode:
+        return _serve(shell.db, serve_port, max_sessions, drain_timeout,
+                      metrics_out)
     if argv:
         try:
             with open(argv[0]) as handle:
@@ -614,6 +664,51 @@ def main(argv=None) -> int:
     except KeyboardInterrupt:
         pass
     return _finish(shell, metrics_out)
+
+
+def _serve(db: Database, port: int, max_sessions: int,
+           drain_timeout: float, metrics_out: str) -> int:
+    """Run the concurrent session server until SIGTERM/SIGINT, then
+    drain gracefully: stop accepting, let in-flight queries finish
+    within the drain budget, cancel stragglers, and exit 0."""
+    import signal
+    import threading
+
+    from repro.errors import ServerError
+
+    try:
+        server = db.serve(port=port, max_sessions=max_sessions,
+                          drain_timeout=drain_timeout)
+    except ServerError as exc:
+        print(f"cannot start session server: {exc}", file=sys.stderr)
+        return 1
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    print(f"session server listening on {server.host}:{server.port} "
+          f"(max {max_sessions} sessions, "
+          f"drain timeout {drain_timeout:.1f}s)", flush=True)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    print("draining: refusing new work, waiting for in-flight queries",
+          flush=True)
+    db.close()  # graceful drain, then pool/monitor/sink teardown
+    if metrics_out is not None:
+        try:
+            _write_metrics(db, metrics_out)
+        except OSError as exc:
+            print(f"cannot write metrics: {exc}", file=sys.stderr)
+            return 1
+        print(f"metrics written to {metrics_out}")
+    print("session server stopped cleanly", flush=True)
+    return 0
 
 
 def _finish(shell: Shell, metrics_out: str) -> int:

@@ -24,6 +24,7 @@ operators), ``"ontop"`` (scalar UDF inside a nested-loop join).
 from __future__ import annotations
 
 import os
+import threading
 import time
 import weakref
 
@@ -54,6 +55,7 @@ from repro.errors import (
     BreakerOpenError,
     FudjCallbackError,
     PlanError,
+    QueryCancelledError,
     QueryTimeoutError,
     ReproError,
     TaskFailedError,
@@ -220,15 +222,43 @@ class Database:
             optimizer if optimizer is not None
             else os.environ.get("FUDJ_OPT") or "rule"
         )
-        self._pending_plan_rows = None
-        #: Id of the statement currently executing (0 outside execute()),
-        #: stamped on every event the engine emits on its behalf.
-        self._active_query_id = 0
+        #: Per-statement state (active query id, pending plan rows) is
+        #: thread-local: the session server runs ``execute()`` from one
+        #: thread per request, and concurrent statements must not see
+        #: each other's in-flight ids.
+        self._tls = threading.local()
+        #: Serializes the engine core.  Acquired *after* the admission
+        #: ticket, so the admission controller — not this lock — is what
+        #: queues, sheds, and times out concurrent sessions; the lock
+        #: only keeps the single-threaded engine internals (cluster
+        #: state, metrics folds, the worker pool) correct beneath them.
+        self._engine_lock = threading.RLock()
         self._monitor = None
+        self._server = None
         if event_log is not None:
             self.telemetry.events.attach_sink(event_log)
         self.telemetry.set_build_info(self.cluster.backend, self._execution)
         register_sys_tables(self)
+
+    # -- per-thread statement state -------------------------------------------------
+
+    @property
+    def _active_query_id(self) -> int:
+        """Id of the statement this thread is executing (0 outside
+        execute()), stamped on every event the engine emits for it."""
+        return getattr(self._tls, "query_id", 0)
+
+    @_active_query_id.setter
+    def _active_query_id(self, value: int) -> None:
+        self._tls.query_id = value
+
+    @property
+    def _pending_plan_rows(self):
+        return getattr(self._tls, "plan_rows", None)
+
+    @_pending_plan_rows.setter
+    def _pending_plan_rows(self, value) -> None:
+        self._tls.plan_rows = value
 
     # -- SQL entry points -----------------------------------------------------------
 
@@ -237,7 +267,8 @@ class Database:
                 summarize_sample: float = 1.0, fault_plan=_UNSET,
                 on_error: str = None,
                 query_timeout: float = _UNSET,
-                trace=_UNSET, optimizer: str = None) -> QueryResult:
+                trace=_UNSET, optimizer: str = None,
+                cancel=None, query_id: int = None) -> QueryResult:
         """Parse and run one SQL statement.
 
         Args:
@@ -266,6 +297,18 @@ class Database:
                 :attr:`QueryResult.trace`.
             optimizer: per-query override of the instance optimizer
                 (``"rule"`` / ``"cost"``).
+            cancel: optional cooperative
+                :class:`~repro.engine.cancel.CancellationToken`;
+                cancelling it from any thread aborts the statement with
+                :class:`~repro.errors.QueryCancelledError` at the next
+                engine checkpoint (recorded with status
+                ``"cancelled"``), leaving the database immediately
+                reusable.
+            query_id: a history id already reserved via
+                :meth:`Telemetry.next_query_id
+                <repro.engine.telemetry.Telemetry.next_query_id>`, for
+                callers (the session server) that must know the id
+                before execution; None reserves a fresh one.
         """
         faults = (self.fault_plan if fault_plan is _UNSET
                   else _to_fault_plan(fault_plan))
@@ -277,10 +320,12 @@ class Database:
         started = time.perf_counter()
         kind = "invalid"
         self._pending_plan_rows = None
-        # The entry id record_statement will assign — stamped on every
-        # event this statement emits, so the timeline joins to
-        # sys.queries before the query has even finished.
-        self._active_query_id = self.telemetry.history.total_recorded + 1
+        # The entry id record_statement will use — reserved up front and
+        # stamped on every event this statement emits, so the timeline
+        # joins to sys.queries before the query has even finished (and
+        # concurrent sessions never share an id).
+        self._active_query_id = (int(query_id) if query_id
+                                 else self.telemetry.next_query_id())
         try:
             statement = parse_statement(sql)
             kind = _statement_kind(statement)
@@ -292,13 +337,14 @@ class Database:
                 statement=kind, mode=mode_text, sql=sql.strip())
             result = self._execute_statement(
                 statement, mode, dedup, measure_bytes, summarize_sample,
-                faults, policy, timeout, tracing, optimizer)
+                faults, policy, timeout, tracing, optimizer, cancel)
         except ReproError as exc:
             self.telemetry.record_statement(
                 sql, kind, mode_text, _error_status(exc), error=exc,
                 cores=self.cluster.cores,
                 wall_seconds=time.perf_counter() - started,
-                plan_rows=self._pending_plan_rows)
+                plan_rows=self._pending_plan_rows,
+                query_id=self._active_query_id)
             self._active_query_id = 0
             raise
         self.telemetry.record_statement(
@@ -306,23 +352,26 @@ class Database:
             rows=len(result.rows), trace=result.trace,
             cores=result.cores or self.cluster.cores,
             wall_seconds=time.perf_counter() - started,
-            plan_rows=self._pending_plan_rows)
+            plan_rows=self._pending_plan_rows,
+            query_id=self._active_query_id)
         self._active_query_id = 0
         return result
 
     def _execute_statement(self, statement, mode, dedup, measure_bytes,
                            summarize_sample, faults, policy, timeout,
-                           tracing, optimizer=None) -> QueryResult:
+                           tracing, optimizer=None,
+                           cancel=None) -> QueryResult:
         if isinstance(statement, SelectStatement):
             plan = self._plan_select(statement, _to_mode(mode), _to_dedup(dedup),
                                      summarize_sample, optimizer)
             return self._run_plan(plan, measure_bytes, faults, policy,
-                                  timeout, tracing)
+                                  timeout, tracing, cancel)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement, _to_mode(mode),
                                          _to_dedup(dedup), measure_bytes,
                                          faults, policy, timeout,
-                                         optimizer=optimizer)
+                                         optimizer=optimizer,
+                                         cancel=cancel)
         return self._execute_ddl(statement)
 
     # -- resource governance --------------------------------------------------------
@@ -427,13 +476,56 @@ class Database:
             self.worker_pool = None
 
     def close(self) -> None:
-        """Release OS resources (the worker pool, the monitor server,
-        the event-log sink).  Idempotent; the database remains usable
-        afterwards on the serial path (a later process-backend query
-        just respawns the pool)."""
+        """Release OS resources (the session server — drained
+        gracefully — the worker pool, the monitor server, the event-log
+        sink).  Idempotent; the database remains usable afterwards on
+        the serial path (a later process-backend query just respawns
+        the pool)."""
+        self.stop_server()
         self._shutdown_pool()
         self.stop_monitor()
         self.telemetry.events.close_sink()
+
+    # -- session server -------------------------------------------------------------
+
+    def serve(self, port: int = 0, host: str = "127.0.0.1",
+              max_sessions: int = 8, drain_timeout: float = 5.0,
+              tenant_depth: int = None):
+        """Start the concurrent JSONL session server on ``host:port``
+        (port 0 picks a free one) and return the
+        :class:`~repro.server.SessionServer`.
+
+        Each connected client gets its own session; requests carry
+        per-request deadlines, can be cancelled mid-flight (explicit
+        ``cancel`` op or disconnect), are admitted through the
+        PR 4 admission queue, and are shed with typed errors when
+        ``max_sessions`` or a tenant's lane is full.  ``stop()`` (or
+        SIGTERM via the CLI) drains gracefully: accepting stops,
+        in-flight requests get up to ``drain_timeout`` seconds to
+        finish, stragglers are cancelled cooperatively.  A previous
+        session server, if any, is stopped first.  Raises
+        :class:`~repro.errors.ServerError` when the port is taken.
+        """
+        from repro.server import SessionServer
+
+        self.stop_server()
+        self._server = SessionServer(
+            self, host=host, port=port, max_sessions=max_sessions,
+            drain_timeout=drain_timeout, tenant_depth=tenant_depth,
+        )
+        self._server.start()
+        return self._server
+
+    @property
+    def server(self):
+        """The running :class:`~repro.server.SessionServer`, or None."""
+        return self._server
+
+    def stop_server(self) -> None:
+        """Drain and stop the session server (idempotent)."""
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
 
     # -- live monitor ---------------------------------------------------------------
 
@@ -482,11 +574,11 @@ class Database:
         return total
 
     def _run_plan(self, plan, measure_bytes, faults, policy, timeout,
-                  tracing) -> QueryResult:
+                  tracing, cancel=None) -> QueryResult:
         """Execute a physical plan under the governance posture: admission
         first (reservation estimated from catalog stats), then the run
-        itself with a budget-enforcing memory accountant and the shared
-        circuit breaker."""
+        itself — serialized on the engine lock — with a budget-enforcing
+        memory accountant and the shared circuit breaker."""
         resources = QueryResources(
             self.cluster.cost_model, enforce=self.memory_budget is not None
         )
@@ -505,7 +597,16 @@ class Database:
                 reserved_bytes=ticket.reserved_bytes)
             resources.queue_seconds = ticket.queue_seconds
         pool = self._acquire_pool if self.cluster.backend == "process" else None
+        locked = False
         try:
+            # Concurrent sessions queue here after admission.  The wait
+            # polls the cancellation token, so a queued request whose
+            # client cancelled (or hung up) aborts without waiting for
+            # the running query to finish.
+            while not self._engine_lock.acquire(timeout=0.05):
+                if cancel is not None:
+                    cancel.check()
+            locked = True
             return execute_plan(plan, self.cluster,
                                 measure_bytes=measure_bytes,
                                 fault_plan=faults, on_error=policy,
@@ -514,8 +615,11 @@ class Database:
                                 pool=pool, execution=self._execution,
                                 batch_rows=self.batch_rows,
                                 events=self.telemetry.events.scoped(
-                                    self._active_query_id))
+                                    self._active_query_id),
+                                cancel=cancel)
         finally:
+            if locked:
+                self._engine_lock.release()
             if ticket is not None:
                 self.admission.release(ticket)
             self.telemetry.sync_breaker(self.breaker, self._active_query_id)
@@ -646,7 +750,8 @@ class Database:
                          mode: ExecutionMode, dedup, measure_bytes,
                          fault_plan=None, on_error: str = "fail",
                          timeout: float = None,
-                         optimizer: str = None) -> QueryResult:
+                         optimizer: str = None,
+                         cancel=None) -> QueryResult:
         """EXPLAIN: plan text (one row per line); ANALYZE adds a
         per-stage profile, the span trace tree, and skew diagnostics
         from a real (traced) execution.  Under the cost optimizer,
@@ -662,7 +767,7 @@ class Database:
         metrics = QueryMetrics(self.cluster.cost_model)
         if statement.analyze:
             executed = self._run_plan(plan, measure_bytes, fault_plan,
-                                      on_error, timeout, True)
+                                      on_error, timeout, True, cancel)
             metrics = executed.metrics
             if opt == "cost" and plan_rows:
                 lines.append("")
@@ -787,6 +892,8 @@ def _statement_kind(statement) -> str:
 
 def _error_status(exc: Exception) -> str:
     """History/registry status class of a failed statement."""
+    if isinstance(exc, QueryCancelledError):
+        return "cancelled"
     if isinstance(exc, QueryTimeoutError):
         return "timeout"
     if isinstance(exc, AdmissionError):

@@ -180,7 +180,12 @@ def batches_from_rows(ctx, schema: Schema, rows) -> list:
     """
     size = ctx.batch_rows
     out = []
+    # Every batch built is a cancellation point (test harnesses pass
+    # minimal ctx stubs without the checkpoint, hence the getattr).
+    check_cancel = getattr(ctx, "check_cancel", None)
     for start in range(0, len(rows), size):
+        if check_cancel is not None:
+            check_cancel()
         batch = RecordBatch.from_rows(schema, rows[start:start + size])
         ctx.metrics.note_batch(batch.num_rows)
         out.append(batch)

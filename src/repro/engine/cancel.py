@@ -1,0 +1,85 @@
+"""Cooperative cancellation: one token per query, checked at engine
+boundaries.
+
+A :class:`CancellationToken` is a thread-safe latch a *controller* (the
+session server, a client disconnect monitor, an operator at a shell)
+flips exactly once, and a *worker* (the query executing on the engine
+thread) polls at its natural checkpoints:
+
+* every new plan stage (:meth:`ExecutionContext.check_cancel
+  <repro.engine.context.ExecutionContext.check_cancel>` runs on the
+  stage observer),
+* every operator boundary (:meth:`PhysicalOperator.execute
+  <repro.engine.operators.base.PhysicalOperator.execute>`),
+* every exchange and every record batch built,
+* every per-worker task attempt (``ExecutionContext.run_task``) and the
+  process-pool lease loop (``WorkerPool.run_tasks(check_cancel=...)``),
+* every guarded FUDJ callback invocation, so a slow user ``summarize``
+  or ``combine`` phase aborts record-by-record, not phase-by-phase.
+
+Cancellation is *cooperative*: nothing is killed.  The checkpoint
+raises :class:`~repro.errors.QueryCancelledError`, the normal error
+unwind frees reservations and spill files (``executor.execute_plan``
+closes the accountant and abandons pool leases on any error), and the
+engine is immediately reusable — re-running the same query afterwards
+returns byte-identical rows, which ``tests/test_server.py`` pins down.
+
+The deadline half of request robustness rides the existing
+``query_timeout`` machinery (PR 1); the token is the asynchronous half
+— disconnects and explicit CANCELs — and both fire through the same
+:meth:`ExecutionContext.check_cancel` checkpoints.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import QueryCancelledError
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """A one-shot, thread-safe cancellation latch.
+
+    ``cancel(reason)`` may be called from any thread, any number of
+    times — the first call wins and records its reason.  ``check()``
+    raises :class:`~repro.errors.QueryCancelledError` once the token is
+    cancelled and is cheap enough for per-record polling (one attribute
+    read on the fast path).
+    """
+
+    __slots__ = ("_cancelled", "_reason", "_lock")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._reason = ""
+        self._lock = threading.Lock()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """The first cancel's reason (empty while uncancelled)."""
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Flip the latch; returns True only for the winning call."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._reason = str(reason) or "cancelled"
+            self._cancelled = True
+            return True
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` if cancelled (else no-op)."""
+        if self._cancelled:
+            raise QueryCancelledError(self._reason)
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self._reason!r}" if self._cancelled else "live"
+        return f"CancellationToken({state})"

@@ -37,6 +37,12 @@ class ExecutionContext:
             it and keeps a per-phase error report in the metrics.
         timeout_seconds: wall-clock budget; checked at stage boundaries
             and task attempts, so cancellation is clean.
+        cancel: optional
+            :class:`~repro.engine.cancel.CancellationToken`; another
+            thread cancelling it aborts the query with
+            :class:`~repro.errors.QueryCancelledError` at the next
+            checkpoint (the same points the timeout is checked, plus
+            every guarded FUDJ callback).
         trace: record a structured span trace of the execution (see
             :mod:`repro.engine.tracing`); the :attr:`tracer` is always
             present but inert unless this is True.
@@ -71,7 +77,8 @@ class ExecutionContext:
                  pool=None,
                  execution: str = "row",
                  batch_rows: int = None,
-                 events=None) -> None:
+                 events=None,
+                 cancel=None) -> None:
         from repro.engine.batch import DEFAULT_BATCH_ROWS, EXECUTION_MODES
 
         if on_error not in ERROR_POLICIES:
@@ -99,6 +106,7 @@ class ExecutionContext:
             resources = QueryResources(cluster.cost_model)
         self.resources = resources
         self.events = NULL_EVENTS if events is None else events
+        self.cancel = cancel
         self.breaker = breaker
         self._breaker_ok = set()
         self._pool_source = pool
@@ -172,13 +180,23 @@ class ExecutionContext:
     # -- cancellation ----------------------------------------------------------
 
     def check_timeout(self) -> None:
-        """Raise :class:`QueryTimeoutError` once the deadline has passed."""
+        """Raise :class:`QueryTimeoutError` once the deadline has passed,
+        or :class:`~repro.errors.QueryCancelledError` once the query's
+        cancellation token is cancelled.  Every timeout checkpoint is a
+        cancellation checkpoint: the two halves of request robustness
+        share one set of engine boundaries."""
+        if self.cancel is not None:
+            self.cancel.check()
         if self._deadline is None:
             return
         now = time.perf_counter()
         if now > self._deadline:
             elapsed = self.timeout_seconds + (now - self._deadline)
             raise QueryTimeoutError(elapsed, self.timeout_seconds)
+
+    #: Alias making call sites self-documenting where the asynchronous
+    #: (token) half is the point — operator/batch/exchange boundaries.
+    check_cancel = check_timeout
 
     # -- task-level fault injection and recovery -------------------------------
 
@@ -265,6 +283,11 @@ class ExecutionContext:
         """
         from repro.errors import FudjCallbackError
 
+        # Checked before the try so a cancel can never be swallowed by a
+        # skip/quarantine policy: slow user callbacks abort record by
+        # record, not phase by phase.
+        if self.cancel is not None:
+            self.cancel.check()
         tracer = self.tracer
         timed = tracer.enabled
         started = time.perf_counter() if timed else 0.0

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -100,12 +101,32 @@ EVENT_KINDS = {
                                  "against a real straggler."),
     "worker.degrade": ("warn", "The process backend degraded to the "
                                "serial path for this stage."),
+    # session server (runtime: client timing, not deterministic)
+    "server.start": ("info", "The session server began accepting "
+                             "connections."),
+    "server.drain": ("info", "The session server stopped accepting and "
+                             "began draining in-flight requests."),
+    "server.stop": ("info", "The session server shut down."),
+    "session.open": ("info", "A client session connected."),
+    "session.close": ("info", "A client session disconnected."),
+    "session.shed": ("warn", "A connection or request was refused "
+                             "(session cap, tenant lane full, or "
+                             "drain)."),
+    "cancel.request": ("warn", "A query's cancellation token was "
+                               "cancelled (client CANCEL, disconnect, "
+                               "or drain)."),
+    "cancel.complete": ("info", "A cancelled query finished unwinding; "
+                                "its resources are released."),
 }
 
-#: Kinds whose timing depends on OS scheduling: retained and queryable,
-#: but excluded from the deterministic JSONL stream.
+#: Kinds whose timing depends on OS scheduling or client behaviour:
+#: retained and queryable, but excluded from the deterministic JSONL
+#: stream.  ``worker.*`` is pool supervision; ``server.*`` /
+#: ``session.*`` / ``cancel.*`` follow real sockets and wall-clock
+#: races, so they must never perturb the deterministic timeline either.
 RUNTIME_KINDS = frozenset(
-    kind for kind in EVENT_KINDS if kind.startswith("worker.")
+    kind for kind in EVENT_KINDS
+    if kind.startswith(("worker.", "server.", "session.", "cancel."))
 )
 
 
@@ -218,6 +239,10 @@ class EventLog:
         self.total_emitted = 0
         self._sink = None
         self.sink_path = None
+        #: Concurrent sessions emit from their own threads; sequence
+        #: assignment, retention, and the file sink share one lock so
+        #: the stream stays gapless and the sink lines never interleave.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -248,25 +273,26 @@ class EventLog:
                 f"use {'/'.join(EVENT_LEVELS)}"
             )
         runtime = kind in RUNTIME_KINDS
-        if runtime:
-            self._runtime_seq += 1
-            seq = -self._runtime_seq
-        else:
-            self._seq += 1
-            seq = self._seq
-        event = Event(
-            seq=seq, kind=kind, level=level, query_id=int(query_id),
-            phase=_phase_for(stage) if phase is None else phase,
-            stage=normalize_stage(stage), worker=int(worker),
-            runtime=runtime, detail=detail,
-        )
-        self._events.append(event)
-        self.total_emitted += 1
-        if len(self._events) > self.limit:
-            del self._events[: len(self._events) - self.limit]
-        if self._sink is not None and not runtime:
-            self._sink.write(event.to_line() + "\n")
-            self._sink.flush()
+        with self._lock:
+            if runtime:
+                self._runtime_seq += 1
+                seq = -self._runtime_seq
+            else:
+                self._seq += 1
+                seq = self._seq
+            event = Event(
+                seq=seq, kind=kind, level=level, query_id=int(query_id),
+                phase=_phase_for(stage) if phase is None else phase,
+                stage=normalize_stage(stage), worker=int(worker),
+                runtime=runtime, detail=detail,
+            )
+            self._events.append(event)
+            self.total_emitted += 1
+            if len(self._events) > self.limit:
+                del self._events[: len(self._events) - self.limit]
+            if self._sink is not None and not runtime:
+                self._sink.write(event.to_line() + "\n")
+                self._sink.flush()
         return event
 
     def scoped(self, query_id: int) -> QueryEvents:
@@ -336,7 +362,8 @@ class EventLog:
     def clear(self) -> None:
         """Drop retained events and restart both sequences (the file
         sink, if any, is left attached and untouched)."""
-        self._events.clear()
-        self._seq = 0
-        self._runtime_seq = 0
-        self.total_emitted = 0
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._runtime_seq = 0
+            self.total_emitted = 0

@@ -57,6 +57,7 @@ def hash_exchange(partitions, key_fn, ctx: ExecutionContext,
     Records whose key hashes to their current worker do not cross the
     network (locality is modelled: roughly ``1/P`` of records stay put).
     """
+    ctx.check_cancel()  # exchanges are cancellation checkpoints
     ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
@@ -125,6 +126,7 @@ def hash_exchange_batches(worker_batches, key_fn, ctx: ExecutionContext,
     from repro.engine.batch import batches_from_rows
     from repro.engine.kernels import scatter_batch
 
+    ctx.check_cancel()  # exchanges are cancellation checkpoints
     ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
@@ -159,6 +161,7 @@ def broadcast_exchange(partitions, ctx: ExecutionContext,
     Network cost is ``(P - 1) * |input bytes|`` — every worker needs a copy
     and one copy is already local somewhere.
     """
+    ctx.check_cancel()  # exchanges are cancellation checkpoints
     ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model
@@ -192,6 +195,7 @@ def random_exchange(partitions, ctx: ExecutionContext,
                     stage_name: str = "random-exchange") -> list:
     """Round-robin repartition (the theta-join fallback of paper §VII-C:
     with no partitioning key available, one side is spread randomly)."""
+    ctx.check_cancel()  # exchanges are cancellation checkpoints
     ctx.pool_tick()  # recycle idle-dead workers between stages
     stage = ctx.metrics.stage(stage_name)
     model = ctx.cost_model

@@ -70,7 +70,8 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
                  pool=None,
                  execution: str = "row",
                  batch_rows: int = None,
-                 events=None) -> QueryResult:
+                 events=None,
+                 cancel=None) -> QueryResult:
     """Execute a physical plan on a cluster and collect rows + metrics.
 
     Args:
@@ -102,12 +103,19 @@ def execute_plan(plan: PhysicalOperator, cluster: Cluster,
         events: a bound event emitter
             (:meth:`~repro.engine.events.EventLog.scoped`); None keeps
             the inert null emitter.
+        cancel: optional cooperative
+            :class:`~repro.engine.cancel.CancellationToken`; cancelling
+            it from any thread aborts the query with
+            :class:`~repro.errors.QueryCancelledError` at the next
+            engine checkpoint, with the same clean unwind as a timeout
+            (spill files dropped, pool leases abandoned).
     """
     ctx = ExecutionContext(
         cluster, measure_bytes=measure_bytes, fault_plan=fault_plan,
         on_error=on_error, timeout_seconds=timeout_seconds, trace=trace,
         resources=resources, breaker=breaker, pool=pool,
         execution=execution, batch_rows=batch_rows, events=events,
+        cancel=cancel,
     )
     started = time.perf_counter()
     try:

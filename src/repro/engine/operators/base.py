@@ -75,6 +75,7 @@ class PhysicalOperator:
         consumes batched children through the duck-typed
         :class:`~repro.engine.batch.BatchResult` surface.
         """
+        ctx.check_cancel()  # every operator boundary is a checkpoint
         runner = self.run_batches if ctx.execution == "batch" else self.run
         tracer = ctx.tracer
         if not tracer.enabled:

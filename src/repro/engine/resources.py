@@ -605,6 +605,72 @@ def simulate_admission(arrivals, capacity_bytes: float,
     return {"outcomes": outcomes, **stats}
 
 
+# -- per-tenant lanes ----------------------------------------------------------
+
+
+class TenantLanes:
+    """Per-tenant backpressure in front of the admission queue.
+
+    Each tenant gets a *lane* with a bounded in-flight depth (requests
+    queued or running on its behalf).  A request past the bound is shed
+    immediately with a typed :class:`~repro.errors.AdmissionError`
+    (reason ``"lane-full"``) instead of entering the shared admission
+    queue — one chatty tenant cannot occupy every queue slot and starve
+    the rest.  The session server wraps each query request in
+    :meth:`enter` / :meth:`leave`; the shared
+    :class:`AdmissionController` behind it still owns memory capacity
+    and global queueing.
+    """
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth < 1:
+            raise ValueError(f"lane depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.admitted_total = 0
+        self.shed_total = 0
+        self._inflight = {}
+        self._lock = threading.Lock()
+
+    def enter(self, tenant: str) -> None:
+        """Take one in-flight slot in ``tenant``'s lane or shed."""
+        tenant = str(tenant)
+        with self._lock:
+            depth = self._inflight.get(tenant, 0)
+            if depth >= self.depth:
+                self.shed_total += 1
+                raise AdmissionError(
+                    "lane-full", 0.0,
+                    f"tenant {tenant!r} already has {depth} requests "
+                    f"in flight (lane depth {self.depth})",
+                )
+            self._inflight[tenant] = depth + 1
+            self.admitted_total += 1
+
+    def leave(self, tenant: str) -> None:
+        """Return ``tenant``'s slot (pairs with a successful enter)."""
+        tenant = str(tenant)
+        with self._lock:
+            depth = self._inflight.get(tenant, 0) - 1
+            if depth > 0:
+                self._inflight[tenant] = depth
+            else:
+                self._inflight.pop(tenant, None)
+
+    def depth_of(self, tenant: str) -> int:
+        """Current in-flight depth of one tenant's lane."""
+        with self._lock:
+            return self._inflight.get(str(tenant), 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "depth": self.depth,
+                "tenants": dict(sorted(self._inflight.items())),
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+            }
+
+
 # -- circuit breaker -----------------------------------------------------------
 
 

@@ -35,6 +35,7 @@ query and pays the ordinary scan cost like any other dataset.
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 from repro.engine.events import DEFAULT_EVENT_LIMIT, EventLog
@@ -445,6 +446,12 @@ SYS_EVENTS_FIELDS = (
     ("worker", "int"), ("runtime", "boolean"), ("detail", "string"),
 )
 
+SYS_SESSIONS_FIELDS = (
+    ("session", "int"), ("tenant", "string"), ("state", "string"),
+    ("requests", "int"), ("active_query", "int"), ("cancelled", "int"),
+    ("lane_depth", "int"),
+)
+
 #: Every registered ``sys.*`` table: name → field schema.  The docs
 #: linter checks each name here is documented in ``docs/``.
 SYS_TABLES = {
@@ -456,6 +463,7 @@ SYS_TABLES = {
     "sys.workers": SYS_WORKERS_FIELDS,
     "sys.plans": SYS_PLANS_FIELDS,
     "sys.events": SYS_EVENTS_FIELDS,
+    "sys.sessions": SYS_SESSIONS_FIELDS,
 }
 
 
@@ -475,6 +483,12 @@ class Telemetry:
         #: ``sys.events`` and the monitor's ``/events`` endpoint.
         self.events = EventLog(event_limit)
         self._started_monotonic = time.monotonic()
+        #: Concurrent sessions record from their own threads; history
+        #: appends and registry folds share this lock so counters never
+        #: lose increments and entries never interleave.
+        self._lock = threading.RLock()
+        self._id_lock = threading.Lock()
+        self._assigned_ids = 0
         r = self.registry
         self._statements = r.counter(
             "fudj_statements_total",
@@ -576,6 +590,28 @@ class Telemetry:
             "fudj_history_evicted", "Query history records evicted.")
         self._events_emitted = r.gauge(
             "fudj_events_total", "Structured engine events emitted.")
+        #: Session-server families.  They sample only once a server
+        #: runs, so sessions that never serve keep the byte-identical
+        #: snapshot contract untouched (``fudj_drain_seconds`` is a
+        #: wall clock, sanctioned the same way as uptime).
+        self._sessions_total = r.counter(
+            "fudj_sessions_total",
+            "Client sessions accepted by the session server.")
+        self._sessions_open = r.gauge(
+            "fudj_sessions_open",
+            "Client sessions currently connected.")
+        self._session_requests = r.counter(
+            "fudj_session_requests_total",
+            "Session-server requests, by op and outcome.",
+            ("op", "outcome"))
+        self._cancelled = r.counter(
+            "fudj_cancelled_total",
+            "Queries aborted by cooperative cancellation, by reason.",
+            ("reason",))
+        self._drain_seconds = r.gauge(
+            "fudj_drain_seconds",
+            "Wall seconds the session server's last graceful drain "
+            "took.")
         #: Scrape self-description.  ``fudj_build_info`` is the
         #: conventional constant-1 info gauge (version/backend/execution
         #: labels, stamped by :meth:`set_build_info`).
@@ -615,11 +651,26 @@ class Telemetry:
 
     # -- recording ------------------------------------------------------------
 
+    def next_query_id(self) -> int:
+        """Reserve the history id the next statement will record under.
+
+        Serial callers get exactly the ids they always did
+        (``total_recorded + 1``); concurrent sessions each reserve a
+        distinct id up front, so the events a query emits while running
+        join to the history entry it eventually records, whatever order
+        the statements finish in.
+        """
+        with self._id_lock:
+            self._assigned_ids = max(self._assigned_ids,
+                                     self.history.total_recorded) + 1
+            return self._assigned_ids
+
     def record_statement(self, sql: str, kind: str, mode: str, status: str,
                          metrics=None, rows: int = 0, error=None,
                          trace=None, cores: int = 1,
                          wall_seconds: float = 0.0,
-                         plan_rows: list = None) -> dict:
+                         plan_rows: list = None,
+                         query_id: int = None) -> dict:
         """Fold one finished ``execute()`` into history + registry.
 
         ``metrics`` is the query's :class:`QueryMetrics` (None for
@@ -627,11 +678,21 @@ class Telemetry:
         ``trace`` the optional :class:`~repro.engine.tracing.Trace`;
         ``plan_rows`` the planned-operator rows from the optimizer
         (surfaced through ``sys.plans`` with per-stage actuals joined
-        in).  Returns the appended history entry.
+        in); ``query_id`` the id reserved via :meth:`next_query_id`
+        (None keeps the serial default, ``total_recorded + 1``).
+        Returns the appended history entry.
         """
+        with self._lock:
+            return self._record_locked(sql, kind, mode, status, metrics,
+                                       rows, error, trace, cores,
+                                       wall_seconds, plan_rows, query_id)
+
+    def _record_locked(self, sql, kind, mode, status, metrics, rows,
+                       error, trace, cores, wall_seconds, plan_rows,
+                       query_id) -> dict:
         entry = self._build_entry(sql, kind, mode, status, metrics, rows,
                                   error, trace, cores, wall_seconds,
-                                  plan_rows)
+                                  plan_rows, query_id)
         self.history.append(entry)
         self._statements.inc(kind=kind)
         executed = metrics is not None and kind in ("select", "explain")
@@ -715,13 +776,20 @@ class Telemetry:
         elif entry["status"] == "rejected":
             ev.emit("breaker.reject", query_id=qid,
                     error_type=entry["error_type"])
+        elif entry["status"] == "cancelled":
+            # Runtime kind: cancellation is client/wall-clock driven, so
+            # it never lands in the deterministic stream.
+            ev.emit("cancel.complete", query_id=qid,
+                    reason=getattr(error, "reason", ""))
         ev.emit("query.error", query_id=qid, status=entry["status"],
                 error_type=entry["error_type"])
 
     def _build_entry(self, sql, kind, mode, status, metrics, rows, error,
-                     trace, cores, wall_seconds, plan_rows=None) -> dict:
+                     trace, cores, wall_seconds, plan_rows=None,
+                     query_id=None) -> dict:
         entry = {
-            "id": self.history.total_recorded + 1,
+            "id": (int(query_id) if query_id
+                   else self.history.total_recorded + 1),
             "sql": sql.strip(),
             "kind": kind,
             "mode": mode,
@@ -837,8 +905,31 @@ class Telemetry:
 
     def note_admission(self, outcome: str) -> None:
         """Count one admission decision (``admitted`` / ``queue-full`` /
-        ``timeout``)."""
-        self._admission.inc(outcome=outcome)
+        ``lane-full`` / ``timeout``)."""
+        with self._lock:
+            self._admission.inc(outcome=outcome)
+
+    def note_session(self, delta: int) -> None:
+        """Track one session opening (+1) or closing (-1)."""
+        with self._lock:
+            if delta > 0:
+                self._sessions_total.inc(delta)
+            self._sessions_open.inc(delta)
+
+    def note_request(self, op: str, outcome: str) -> None:
+        """Count one finished session-server request."""
+        with self._lock:
+            self._session_requests.inc(op=op, outcome=outcome)
+
+    def note_cancel(self, reason: str) -> None:
+        """Count one cooperative cancellation, by reason."""
+        with self._lock:
+            self._cancelled.inc(reason=reason)
+
+    def note_drain(self, seconds: float) -> None:
+        """Stamp how long the last graceful drain took."""
+        with self._lock:
+            self._drain_seconds.set(round(float(seconds), 3))
 
     def sync_breaker(self, breaker, query_id: int = 0) -> None:
         """Fold a circuit breaker's lifetime trip/rejection counts into
@@ -846,16 +937,17 @@ class Telemetry:
         also lands in the event log, attributed to ``query_id``."""
         if breaker is None:
             return
-        trips = breaker.trips - self._breaker_seen["trips"]
-        if trips > 0:
-            self._breaker_trips.inc(trips)
-            self.events.emit("breaker.trip", query_id=query_id,
-                             trips=trips)
-        rejections = breaker.rejections - self._breaker_seen["rejections"]
-        if rejections > 0:
-            self._breaker_rejections.inc(rejections)
-        self._breaker_seen["trips"] = breaker.trips
-        self._breaker_seen["rejections"] = breaker.rejections
+        with self._lock:
+            trips = breaker.trips - self._breaker_seen["trips"]
+            if trips > 0:
+                self._breaker_trips.inc(trips)
+                self.events.emit("breaker.trip", query_id=query_id,
+                                 trips=trips)
+            rejections = breaker.rejections - self._breaker_seen["rejections"]
+            if rejections > 0:
+                self._breaker_rejections.inc(rejections)
+            self._breaker_seen["trips"] = breaker.trips
+            self._breaker_seen["rejections"] = breaker.rejections
 
     def sync_pool(self, pool) -> None:
         """Fold a worker pool's lifetime speculation/degradation counts
@@ -865,14 +957,17 @@ class Telemetry:
         if pool is None:
             return
         counters = pool.counters()
-        speculations = counters["speculations"] - self._pool_seen["speculations"]
-        if speculations > 0:
-            self._speculations.inc(speculations)
-        degradations = counters["degradations"] - self._pool_seen["degradations"]
-        if degradations > 0:
-            self._degradations.inc(degradations)
-        self._pool_seen["speculations"] = counters["speculations"]
-        self._pool_seen["degradations"] = counters["degradations"]
+        with self._lock:
+            speculations = (counters["speculations"]
+                            - self._pool_seen["speculations"])
+            if speculations > 0:
+                self._speculations.inc(speculations)
+            degradations = (counters["degradations"]
+                            - self._pool_seen["degradations"])
+            if degradations > 0:
+                self._degradations.inc(degradations)
+            self._pool_seen["speculations"] = counters["speculations"]
+            self._pool_seen["degradations"] = counters["degradations"]
 
     # -- snapshots ------------------------------------------------------------
 
@@ -890,9 +985,12 @@ class Telemetry:
     def reset(self) -> None:
         """Zero the registry, drop the history, and clear the event
         log (an attached event sink stays attached)."""
-        self.registry.reset()
-        self.history.clear()
-        self.events.clear()
+        with self._lock:
+            self.registry.reset()
+            self.history.clear()
+            self.events.clear()
+            with self._id_lock:
+                self._assigned_ids = 0
 
     # -- sys.* row providers --------------------------------------------------
 
@@ -1014,6 +1112,15 @@ def workers_rows(db) -> list:
     return pool.snapshot_rows()
 
 
+def sessions_rows(db) -> list:
+    """Live session-server sessions as ``sys.sessions`` rows (empty
+    when no session server is running)."""
+    server = getattr(db, "server", None)
+    if server is None:
+        return []
+    return server.sessions_rows()
+
+
 def register_sys_tables(db) -> None:
     """Register every ``sys.*`` virtual table on a database's catalog
     and cluster, backed by its :class:`Telemetry` instance."""
@@ -1027,6 +1134,7 @@ def register_sys_tables(db) -> None:
         "sys.workers": lambda: workers_rows(db),
         "sys.plans": telemetry.plans_rows,
         "sys.events": telemetry.events_rows,
+        "sys.sessions": lambda: sessions_rows(db),
     }
     for name, fields in SYS_TABLES.items():
         db.catalog.register_virtual_table(name, fields)

@@ -1428,7 +1428,7 @@ def run_combine(pool: WorkerPool, op, ctx, stage, kind: str,
         ctx.events.emit("worker.lease", stage=stage.name, worker=worker)
     try:
         outcomes = pool.run_tasks(
-            tasks, check_cancel=ctx.check_timeout,
+            tasks, check_cancel=ctx.check_cancel,
             extra_restarts=extra, detect_factor=detect,
         )
     except WorkerPoolError:

@@ -71,6 +71,23 @@ class QueryTimeoutError(ExecutionError):
         self.limit_seconds = limit_seconds
 
 
+class QueryCancelledError(ExecutionError):
+    """The query was cancelled cooperatively before it finished.
+
+    Raised at the next cancellation checkpoint (stage boundary, operator
+    boundary, exchange, task attempt, or guarded FUDJ callback) after a
+    :class:`~repro.engine.cancel.CancellationToken` is cancelled — by an
+    explicit client CANCEL, a client disconnect, or a server drain.  The
+    unwind is clean: reservations are released, spill files dropped, and
+    the worker pool's leases abandoned, so the same query re-run on the
+    same database returns byte-identical rows.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(f"query cancelled ({reason})")
+        self.reason = reason
+
+
 class TaskFailedError(ExecutionError):
     """A partition task kept failing past the fault plan's retry cap."""
 
@@ -132,6 +149,21 @@ class WorkerPoolError(ExecutionError):
     degrades the query to the serial backend; it only escapes to callers
     who drive :class:`~repro.engine.workers.WorkerPool` directly.
     """
+
+
+class ServerError(ReproError):
+    """A server front door (session server or monitor) could not start
+    or was misused.
+
+    The common case is a port already in use: the raw ``OSError`` is
+    wrapped so callers see *which* port failed and can react (pick
+    another, report cleanly) without parsing errno text.
+    """
+
+    def __init__(self, message: str, host: str = "", port: int = None) -> None:
+        super().__init__(message)
+        self.host = host
+        self.port = port
 
 
 class SerdeError(ReproError):

@@ -34,6 +34,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse, parse_qs
 
+from repro.errors import ServerError
+
 #: Content type of the Prometheus text exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -185,10 +187,18 @@ class MonitorServer:
     def __init__(self, database, host: str = "127.0.0.1",
                  port: int = 0) -> None:
         self.database = database
-        self._server = ThreadingHTTPServer((host, port), _MonitorHandler)
+        try:
+            self._server = ThreadingHTTPServer((host, port),
+                                               _MonitorHandler)
+        except OSError as exc:
+            raise ServerError(
+                f"monitor cannot bind {host}:{port}: {exc}",
+                host=host, port=port,
+            ) from exc
         self._server.daemon_threads = True
         self._server.database = database
         self._thread = None
+        self._closed = False
 
     @property
     def host(self) -> str:
@@ -212,8 +222,13 @@ class MonitorServer:
         return self
 
     def stop(self) -> None:
+        """Shut the listener down and join its thread.  Idempotent —
+        repeated calls (or ``Database.close()`` after an explicit stop)
+        are no-ops, never a double-close on the socket."""
         if self._thread is not None:
             self._server.shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
-        self._server.server_close()
+        if not self._closed:
+            self._closed = True
+            self._server.server_close()

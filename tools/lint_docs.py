@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs linter: keep the documented surface honest.
 
-Nine checks over ``README.md`` and ``docs/*.md``:
+Ten checks over ``README.md`` and ``docs/*.md``:
 
 1. **Links resolve.** Every relative markdown link (and image) points at
    a file or directory that exists; fragment-only links and absolute
@@ -32,6 +32,12 @@ Nine checks over ``README.md`` and ``docs/*.md``:
    emit (``repro.engine.events.EVENT_KINDS`` — ``emit()`` rejects
    anything outside the registry, so the registry *is* the emitted
    surface) appears in ``docs/observability.md``.
+10. **The serving surface is documented.** ``docs/serving.md`` is the
+    session-server reference: every server-side event kind
+    (``server.*`` / ``session.*`` / ``cancel.*``) must appear there,
+    and every registered ``sys.*`` table must be documented in a
+    ``docs/*.md`` page (a mention only in the repo ``README.md`` does
+    not count as documentation).
 
 Run with ``make lint-docs`` (CI runs it on every push).  Exits nonzero
 with one line per violation.
@@ -176,6 +182,34 @@ def check_event_kinds() -> list:
     return problems
 
 
+#: Event kinds emitted by the session server: the serving-doc surface.
+_SERVING_KIND_PREFIXES = ("server.", "session.", "cancel.")
+
+
+def check_serving_surface() -> list:
+    """Check #10: ``docs/serving.md`` documents every server-side
+    event kind, and every ``sys.*`` table is documented inside
+    ``docs/`` proper (not just the repo README)."""
+    problems = []
+    serving = REPO / "docs" / "serving.md"
+    serving_corpus = serving.read_text() if serving.exists() else ""
+    if not serving_corpus:
+        problems.append("docs/serving.md is missing — the session "
+                        "server has no reference page")
+    for kind in sorted(event_kinds()):
+        if kind.startswith(_SERVING_KIND_PREFIXES):
+            if kind not in serving_corpus:
+                problems.append(f"server event kind {kind!r} is not "
+                                "documented in docs/serving.md")
+    docs_corpus = "\n".join(path.read_text() for path in
+                            sorted((REPO / "docs").glob("*.md")))
+    for table in sorted(sys_tables()):
+        if not re.search(re.escape(table) + r"\b", docs_corpus):
+            problems.append(f"sys table {table!r} is not documented in "
+                            "any docs/*.md page")
+    return problems
+
+
 def check_mentions(files: list, needles: set, what: str) -> list:
     corpus = "\n".join(path.read_text() for path in files)
     problems = []
@@ -204,6 +238,7 @@ def main() -> int:
     problems += check_optimizer_modes(files)
     problems += check_mentions(files, env_vars(), "environment variable")
     problems += check_event_kinds()
+    problems += check_serving_surface()
     for problem in problems:
         print(f"lint-docs: {problem}")
     if problems:
